@@ -1,0 +1,100 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner -exp fig6            # one experiment
+//	benchrunner -exp all             # everything (several minutes)
+//	benchrunner -list                # show available experiments
+//	benchrunner -exp fig5 -quick     # faster, smaller populations
+//
+// Scale knobs (-rowfactor, -ebfactor, -fsync, ...) override the calibrated
+// defaults documented in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"madeus/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list experiments")
+		quick   = flag.Bool("quick", false, "use the quick configuration")
+		rowF    = flag.Int("rowfactor", 0, "override row scale divisor")
+		ebF     = flag.Int("ebfactor", 0, "override EB divisor")
+		fsync   = flag.Duration("fsync", 0, "override simulated fsync delay")
+		stmt    = flag.Duration("stmtcost", 0, "override per-statement CPU cost")
+		think   = flag.Duration("think", 0, "override EB think time")
+		measure = flag.Duration("measure", 0, "override measurement window")
+		catchup = flag.Duration("catchup", 0, "override catch-up timeout (N/A threshold)")
+		slots   = flag.Int("slots", 0, "override execution slots per node")
+	)
+	flag.Parse()
+
+	cfg := bench.Default()
+	if *quick {
+		cfg = bench.Quick()
+	}
+	if *rowF > 0 {
+		cfg.RowFactor = *rowF
+	}
+	if *ebF > 0 {
+		cfg.EBFactor = *ebF
+	}
+	if *fsync > 0 {
+		cfg.FsyncDelay = *fsync
+	}
+	if *stmt > 0 {
+		cfg.StmtCost = *stmt
+	}
+	if *think > 0 {
+		cfg.Think = *think
+	}
+	if *measure > 0 {
+		cfg.Measure = *measure
+	}
+	if *catchup > 0 {
+		cfg.CatchupTimeout = *catchup
+	}
+	if *slots > 0 {
+		cfg.ExecSlots = *slots
+	}
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-22s %s\n", e.ID, e.Desc)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	run := func(id string) {
+		start := time.Now()
+		fmt.Printf("# running %s ...\n", id)
+		if err := bench.RunByID(id, cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("# %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *exp == "all" {
+		for _, e := range bench.Experiments() {
+			// fig8 and fig9/table3 are aliases of shared runs; skip
+			// the duplicates in 'all' mode.
+			if e.ID == "fig8" || e.ID == "fig9" {
+				continue
+			}
+			run(e.ID)
+		}
+		return
+	}
+	run(*exp)
+}

@@ -1,0 +1,83 @@
+// Command madeusctl sends operator commands to a running madeusd.
+//
+//	madeusctl -addr 127.0.0.1:6000 status
+//	madeusctl -addr 127.0.0.1:6000 add-tenant shop node0
+//	madeusctl -addr 127.0.0.1:6000 migrate shop node1
+//	madeusctl -addr 127.0.0.1:6000 migrate shop node1 B-MIN
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"madeus/internal/core"
+	"madeus/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6000", "madeusd address")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var cmd string
+	switch args[0] {
+	case "status":
+		cmd = "STATUS"
+	case "add-tenant":
+		if len(args) != 3 {
+			usage()
+		}
+		cmd = fmt.Sprintf("ADD TENANT %s ON %s", args[1], args[2])
+	case "migrate":
+		switch len(args) {
+		case 3:
+			cmd = fmt.Sprintf("MIGRATE %s TO %s", args[1], args[2])
+		case 4:
+			cmd = fmt.Sprintf("MIGRATE %s TO %s STRATEGY %s", args[1], args[2], args[3])
+		default:
+			usage()
+		}
+	default:
+		usage()
+	}
+
+	c, err := wire.Dial(*addr, core.AdminDB)
+	if err != nil {
+		fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec(cmd)
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, "\t"))
+	}
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			cells[i] = v.String()
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+	fmt.Println(res.Tag)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: madeusctl [-addr host:port] <command>
+commands:
+  status                          list tenants and their nodes
+  add-tenant <tenant> <node>      provision a tenant on a node
+  migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "madeusctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command madeusrepl is an interactive SQL shell against a madeusd tenant
+// (or a dbnode database) — the psql of this repository.
+//
+//	madeusrepl -addr 127.0.0.1:6000 -tenant shop
+//
+// Each input line is one statement. Besides SQL, the engine's utility
+// commands work too: DUMP, VACUUM, CREATE DATABASE (against a dbnode), and
+// the madeusd admin channel with -tenant _admin (STATUS, MIGRATE ...).
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"madeus/internal/engine"
+	"madeus/internal/wire"
+)
+
+func main() {
+	addr := "127.0.0.1:6000"
+	tenant := "shop"
+	args := os.Args[1:]
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-addr":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			addr = args[i]
+		case "-tenant":
+			i++
+			if i >= len(args) {
+				usage()
+			}
+			tenant = args[i]
+		default:
+			usage()
+		}
+	}
+
+	c, err := wire.Dial(addr, tenant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madeusrepl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	fmt.Printf("connected to %s (database %s); end with \\q\n", addr, tenant)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Printf("%s=> ", tenant)
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\q` || line == "quit" || line == "exit":
+			return
+		}
+		start := time.Now()
+		res, err := c.Exec(line)
+		if err != nil {
+			fmt.Println("ERROR:", err)
+			continue
+		}
+		printResult(res, time.Since(start))
+	}
+}
+
+// printResult renders a result the way psql does: aligned columns, the
+// command tag, and the round-trip time.
+func printResult(res *engine.Result, d time.Duration) {
+	if len(res.Columns) > 0 {
+		widths := make([]int, len(res.Columns))
+		for i, c := range res.Columns {
+			widths[i] = len(c)
+		}
+		cells := make([][]string, len(res.Rows))
+		for r, row := range res.Rows {
+			cells[r] = make([]string, len(row))
+			for i, v := range row {
+				cells[r][i] = v.String()
+				if i < len(widths) && len(cells[r][i]) > widths[i] {
+					widths[i] = len(cells[r][i])
+				}
+			}
+		}
+		line := func(parts []string) {
+			out := make([]string, len(parts))
+			for i, p := range parts {
+				w := len(p)
+				if i < len(widths) {
+					w = widths[i]
+				}
+				out[i] = fmt.Sprintf("%-*s", w, p)
+			}
+			fmt.Println(" " + strings.TrimRight(strings.Join(out, " | "), " "))
+		}
+		line(res.Columns)
+		seps := make([]string, len(res.Columns))
+		for i := range seps {
+			seps[i] = strings.Repeat("-", widths[i])
+		}
+		fmt.Println(" " + strings.Join(seps, "-+-"))
+		for _, row := range cells {
+			line(row)
+		}
+	}
+	fmt.Printf("%s (%v)\n", res.Tag, d.Round(100*time.Microsecond))
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: madeusrepl [-addr host:port] [-tenant name]")
+	os.Exit(2)
+}

@@ -1,0 +1,95 @@
+// Command tpcwload drives the TPC-W workload against a tenant through a
+// running madeusd (or directly against a dbnode).
+//
+//	tpcwload -addr 127.0.0.1:6000 -tenant shop -load -items 1000
+//	tpcwload -addr 127.0.0.1:6000 -tenant shop -ebs 70 -mix ordering -duration 60s
+//
+// It prints a summary and a per-interval time series (response time and
+// throughput), which is how the paper's Figures 7-19 are read.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"madeus/internal/metrics"
+	"madeus/internal/tpcw"
+	"madeus/internal/wire"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:6000", "madeusd or dbnode address")
+		tenant    = flag.String("tenant", "shop", "tenant database")
+		load      = flag.Bool("load", false, "create and populate the schema, then exit")
+		items     = flag.Int("items", 1000, "item count (load and workload addressing)")
+		customers = flag.Int("customers", 0, "customer count (0 derives from items)")
+		ebs       = flag.Int("ebs", 10, "emulated browsers")
+		mixName   = flag.String("mix", "ordering", "browsing | shopping | ordering")
+		think     = flag.Duration("think", 100*time.Millisecond, "EB think time")
+		duration  = flag.Duration("duration", 30*time.Second, "workload duration")
+		interval  = flag.Duration("interval", time.Second, "series bucket width")
+	)
+	flag.Parse()
+
+	scale := tpcw.Scale{Items: *items, Customers: *customers, Authors: *items / 4}
+	if scale.Customers == 0 {
+		scale.Customers = *items * 3
+	}
+	if scale.Authors < 5 {
+		scale.Authors = 5
+	}
+
+	if *load {
+		c, err := wire.Dial(*addr, *tenant)
+		if err != nil {
+			fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if err := tpcw.Load(c, scale); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded %s in %v\n", scale, time.Since(start).Round(time.Millisecond))
+		return
+	}
+
+	var mix tpcw.Mix
+	switch *mixName {
+	case "browsing":
+		mix = tpcw.Browsing
+	case "shopping":
+		mix = tpcw.Shopping
+	case "ordering":
+		mix = tpcw.Ordering
+	default:
+		fatal(fmt.Errorf("unknown mix %q", *mixName))
+	}
+
+	fmt.Printf("running %d EBs (%s mix, think %v) against %s/%s for %v\n",
+		*ebs, mix.Name, *think, *addr, *tenant, *duration)
+	rec := metrics.NewRecorder()
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	err := tpcw.RunFleet(ctx, *ebs, mix, scale, *think, func() (tpcw.Execer, error) {
+		return wire.Dial(*addr, *tenant)
+	}, rec)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("\nsummary:", rec.Summarize())
+	fmt.Printf("\n%-8s %-12s %-10s\n", "t", "mean RT", "tput/s")
+	for _, b := range rec.Series(*interval) {
+		fmt.Printf("%-8s %-12s %-10.1f\n",
+			b.Start.Round(time.Millisecond), b.Mean.Round(time.Microsecond), b.Throughput)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpcwload:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,19 @@
+// Package madeus is a from-scratch Go reproduction of "Madeus: Database
+// Live Migration Middleware under Heavy Workloads for Cloud Environment"
+// (Mishima and Fujiwara, SIGMOD 2015).
+//
+// The repository contains the Madeus middleware itself (internal/core), the
+// lazy snapshot isolation rule as an executable formal model
+// (internal/lsir), and every substrate the paper's evaluation depends on,
+// built from scratch: a snapshot-isolation MVCC engine with group-commit
+// WAL (internal/mvcc, internal/wal, internal/engine), a wire protocol
+// (internal/wire), a cluster harness (internal/cluster), a TPC-W-style
+// workload (internal/tpcw), and a benchmark harness regenerating every
+// table and figure of the paper's evaluation (internal/bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured comparison. The testing.B
+// benchmarks in bench_test.go regenerate the evaluation:
+//
+//	go test -bench=. -benchtime=1x .
+package madeus

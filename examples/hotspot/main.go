@@ -1,0 +1,104 @@
+// Hotspot: the paper's Section 5.6 scenario. Three tenants share node0;
+// tenant B runs a heavy workload and makes the node a hot spot. The example
+// migrates B to the empty node1 and shows every tenant's response time
+// before and after — then contrasts with what migrating a LIGHT tenant
+// would have achieved.
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"madeus/internal/bench"
+	"madeus/internal/core"
+	"madeus/internal/metrics"
+	"madeus/internal/tpcw"
+	"madeus/internal/wire"
+)
+
+func main() {
+	cfg := bench.Default()
+	cfg.RowFactor = 200 // small data so the demo is quick
+
+	h, err := bench.NewHarness(cfg, 2)
+	check(err)
+	defer h.Close()
+
+	scale := tpcw.ScaleFor(100000, 100, cfg.RowFactor)
+	tenants := map[string]int{ // paper EB counts
+		"tenantA": 200, "tenantB": 700, "tenantC": 200,
+	}
+	for tn := range tenants {
+		check(h.Provision(tn, "node0", scale))
+	}
+	fmt.Println("three tenants on node0; tenant B is heavy — node0 is a hot spot")
+
+	// Run all three workloads.
+	ctx, cancel := context.WithCancel(context.Background())
+	recs := make(map[string]*metrics.Recorder)
+	for tn, paperEBs := range tenants {
+		rec := metrics.NewRecorder()
+		recs[tn] = rec
+		tnName := tn
+		ebs := cfg.EBs(paperEBs)
+		go func() {
+			tpcw.RunFleet(ctx, ebs, tpcw.Ordering, scale, cfg.Think, func() (tpcw.Execer, error) {
+				return wire.Dial(h.MW.Addr(), tnName)
+			}, rec)
+		}()
+	}
+	time.Sleep(2 * time.Second)
+	before := snapshot(recs)
+
+	// Case 1: migrate the heavy tenant (the paper's recommendation).
+	rep, err := h.MW.Migrate("tenantB", "node1", core.MigrateOptions{Strategy: core.Madeus})
+	check(err)
+	fmt.Printf("\nmigrated heavy tenant B in %v\n", rep.Total().Round(time.Millisecond))
+
+	time.Sleep(2 * time.Second)
+	after := snapshot(recs)
+	cancel()
+
+	fmt.Printf("\n%-8s  %-12s  %-12s\n", "tenant", "RT before", "RT after")
+	for _, tn := range []string{"tenantA", "tenantB", "tenantC"} {
+		fmt.Printf("%-8s  %-12v  %-12v\n", tn,
+			before[tn].Round(time.Millisecond), after[tn].Round(time.Millisecond))
+	}
+	fmt.Println("\nmigrating the HEAVY tenant relieves everyone: the paper's answer")
+	fmt.Println("to 'which tenant should be migrated?' (Sec 5.6). Migrating a light")
+	fmt.Println("tenant instead leaves the hot spot in place — try it by changing")
+	fmt.Println("the Migrate call to tenantC.")
+}
+
+// snapshot reports each tenant's mean response time over the most recent
+// two seconds.
+func snapshot(recs map[string]*metrics.Recorder) map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for tn, rec := range recs {
+		buckets := rec.Series(200 * time.Millisecond)
+		var total time.Duration
+		n := 0
+		start := len(buckets) - 10
+		if start < 0 {
+			start = 0
+		}
+		for _, b := range buckets[start:] {
+			total += b.Mean * time.Duration(b.Count)
+			n += b.Count
+		}
+		if n > 0 {
+			out[tn] = total / time.Duration(n)
+		}
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module madeus
+
+go 1.22

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"madeus/internal/core"
+	"madeus/internal/tpcw"
+)
+
+// tinyConfig keeps unit tests fast; experiment-shape assertions use the
+// root-level benches and EXPERIMENTS.md instead.
+func tinyConfig() Config {
+	c := Default()
+	c.RowFactor = 1000
+	c.Warm = 50 * time.Millisecond
+	c.Measure = 200 * time.Millisecond
+	c.Think = 2 * time.Millisecond
+	c.FsyncDelay = 300 * time.Microsecond
+	c.StmtCost = 50 * time.Microsecond
+	c.CatchupTimeout = 10 * time.Second
+	return c
+}
+
+func TestConfigEBsScaling(t *testing.T) {
+	cfg := Default()
+	if got := cfg.EBs(700); got != 700/cfg.EBFactor {
+		t.Errorf("EBs(700) = %d, want %d", got, 700/cfg.EBFactor)
+	}
+	if cfg.EBs(1) != 1 {
+		t.Error("EBs floor")
+	}
+	q := Quick()
+	if q.RowFactor <= cfg.RowFactor {
+		t.Error("Quick should shrink populations")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{Title: "T", Header: []string{"a", "bee"}}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Note("n=%d", 7)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== T ==", "a    bee", "333", "note: n=7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	tb := Table2()
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Madeus row has all three mechanisms.
+	var madeus []string
+	for _, r := range tb.Rows {
+		if r[0] == "Madeus" {
+			madeus = r
+		}
+	}
+	if madeus == nil || madeus[1] != "yes" || madeus[2] != "yes" || madeus[3] != "yes" {
+		t.Errorf("Madeus row = %v", madeus)
+	}
+}
+
+func TestHarnessProvisionAndMeasure(t *testing.T) {
+	cfg := tinyConfig()
+	h, err := NewHarness(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	scale := tpcw.ScaleFor(100000, 100, cfg.RowFactor)
+	if err := h.Provision("tenantA", "node0", scale); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := h.MeasureLoad("tenantA", 3, tpcw.Ordering, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Count == 0 {
+		t.Error("no interactions measured")
+	}
+}
+
+func TestMigrateUnderLoadSmoke(t *testing.T) {
+	cfg := tinyConfig()
+	h, err := NewHarness(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	scale := tpcw.ScaleFor(100000, 100, cfg.RowFactor)
+	if err := h.Provision("tenantA", "node0", scale); err != nil {
+		t.Fatal(err)
+	}
+	rep, rec, err := h.MigrateUnderLoad("tenantA", "node1", 4, tpcw.Ordering, scale,
+		core.MigrateOptions{Strategy: core.Madeus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed {
+		t.Fatalf("migration failed: %s", rep)
+	}
+	if rec.Count() == 0 {
+		t.Error("no interactions during migration window")
+	}
+}
+
+func TestFig5SmallLevels(t *testing.T) {
+	cfg := tinyConfig()
+	tb, err := Fig5(cfg, []int{100, 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][5] != "light" {
+		t.Errorf("first level band = %q, want light", tb.Rows[0][5])
+	}
+}
+
+func TestFig6SingleLevel(t *testing.T) {
+	cfg := tinyConfig()
+	tb, err := Fig6(cfg, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 1 || len(tb.Rows[0]) != 5 {
+		t.Fatalf("shape = %v", tb.Rows)
+	}
+	for i := 1; i < 5; i++ {
+		if tb.Rows[0][i] == "" {
+			t.Errorf("empty cell %d", i)
+		}
+	}
+}
+
+func TestRegistryCoversAllFiguresAndTables(t *testing.T) {
+	want := []string{
+		"table2", "table3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"case1", "case2", "mixes", "ablation-groupcommit", "ablation-overhead",
+	}
+	have := map[string]bool{}
+	for _, e := range Experiments() {
+		have[e.ID] = true
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestRunByIDUnknown(t *testing.T) {
+	if err := RunByID("nope", tinyConfig(), &bytes.Buffer{}); err == nil {
+		t.Error("want error for unknown id")
+	}
+}
+
+func TestRunByIDTable2(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunByID("table2", tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Madeus") {
+		t.Error("table2 output missing Madeus row")
+	}
+}
+
+func TestWindowStats(t *testing.T) {
+	cfg := tinyConfig()
+	_ = cfg
+	// window() aggregation is covered via a synthetic recorder in the
+	// metrics package; here check the degenerate empty window.
+	ws := windowStats{}
+	if ws.Mean != 0 || ws.Throughput != 0 {
+		t.Error("zero value not zero")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	base := 10 * time.Millisecond
+	if classify(base, base) != "light" {
+		t.Error("1x should be light")
+	}
+	if classify(10*base, base) != "medium" {
+		t.Error("10x should be medium")
+	}
+	if classify(50*base, base) != "heavy" {
+		t.Error("50x should be heavy")
+	}
+	if classify(base, 0) != "light" {
+		t.Error("zero baseline")
+	}
+}

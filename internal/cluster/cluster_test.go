@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"madeus/internal/engine"
+)
+
+func TestNodeLifecycle(t *testing.T) {
+	n, err := NewNode("n0", NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Engine.CreateDatabase("a"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Connect("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int != 0 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+}
+
+func TestClusterAddAndLookup(t *testing.T) {
+	cl := New()
+	defer cl.Close()
+	if _, err := cl.AddNode("node0", NodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AddNode("node1", NodeOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.AddNode("node0", NodeOptions{}); err == nil {
+		t.Error("duplicate node: want error")
+	}
+	if _, ok := cl.Node("node1"); !ok {
+		t.Error("node1 missing")
+	}
+	if _, ok := cl.Node("nope"); ok {
+		t.Error("phantom node")
+	}
+	names := cl.Names()
+	if len(names) != 2 || names[0] != "node0" || names[1] != "node1" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestClusterCloseShutsNodes(t *testing.T) {
+	cl := New()
+	n, err := cl.AddNode("n", NodeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Engine.CreateDatabase("a"); err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	if _, err := n.Connect("a"); err == nil {
+		t.Error("connect after close: want error")
+	}
+	if len(cl.Names()) != 0 {
+		t.Error("nodes remain after Close")
+	}
+}
+
+func TestNodeRTTApplied(t *testing.T) {
+	n, err := NewNode("slow", NodeOptions{RTT: 4 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if got := n.RTT(); got != 4*time.Millisecond {
+		t.Errorf("RTT = %v", got)
+	}
+	if err := n.Engine.CreateDatabase("a"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Connect("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exec("SELECT COUNT(*) FROM t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 12*time.Millisecond {
+		t.Errorf("3 ops with 4ms RTT took %v", elapsed)
+	}
+}
+
+func TestTwoNodesIndependentState(t *testing.T) {
+	cl := New()
+	defer cl.Close()
+	n0, _ := cl.AddNode("n0", NodeOptions{})
+	n1, _ := cl.AddNode("n1", NodeOptions{})
+	if err := n0.Engine.CreateDatabase("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Engine.CreateDatabase("tenant"); err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := n0.Connect("tenant")
+	defer c0.Close()
+	c1, _ := n1.Connect("tenant")
+	defer c1.Close()
+	if _, err := c0.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	// n1 has no table t at all.
+	if _, err := c1.Exec("SELECT COUNT(*) FROM t"); err == nil {
+		t.Error("n1 unexpectedly has n0's table")
+	}
+}
+
+func TestSharedWALAcrossTenants(t *testing.T) {
+	// Two tenants on one node share the engine's WAL: fsyncs accrue on
+	// the same log (the shared process model).
+	n, err := NewNode("n", NodeOptions{Engine: engine.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for _, db := range []string{"a", "b"} {
+		if err := n.Engine.CreateDatabase(db); err != nil {
+			t.Fatal(err)
+		}
+		c, err := n.Connect(db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Exec("INSERT INTO t (id) VALUES (1)"); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if st := n.Engine.WALStats(); st.Commits < 2 {
+		t.Errorf("shared WAL commits = %d, want >= 2", st.Commits)
+	}
+}

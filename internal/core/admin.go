@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"madeus/internal/engine"
+	"madeus/internal/sqlmini"
+)
+
+// AdminDB is the pseudo-database name operators connect to for control
+// operations (the channel cmd/madeusctl uses).
+const AdminDB = "_admin"
+
+// adminConn serves operator commands over the ordinary wire protocol:
+//
+//	ADD NODE <name> <addr>            (not supported over the wire; nodes
+//	                                   are registered at startup)
+//	ADD TENANT <tenant> ON <node>
+//	MIGRATE <tenant> TO <node> [STRATEGY <B-ALL|B-MIN|B-CON|Madeus>]
+//	STATUS
+type adminConn struct {
+	mw *Middleware
+}
+
+// Close implements wire.Conn.
+func (a *adminConn) Close() {}
+
+// Exec implements wire.Conn for the admin channel.
+func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
+	fields := strings.Fields(cmd)
+	upper := make([]string, len(fields))
+	for i, f := range fields {
+		upper[i] = strings.ToUpper(f)
+	}
+	switch {
+	case len(fields) >= 2 && upper[0] == "ADD" && upper[1] == "TENANT":
+		if len(fields) != 5 || upper[3] != "ON" {
+			return nil, fmt.Errorf("core: usage: ADD TENANT <tenant> ON <node>")
+		}
+		if err := a.mw.ProvisionTenant(fields[2], fields[4]); err != nil {
+			return nil, err
+		}
+		return &engine.Result{Tag: "ADD TENANT"}, nil
+
+	case len(fields) >= 1 && upper[0] == "MIGRATE":
+		if len(fields) < 4 || upper[2] != "TO" {
+			return nil, fmt.Errorf("core: usage: MIGRATE <tenant> TO <node> [STRATEGY <name>]")
+		}
+		opts := MigrateOptions{Strategy: Madeus}
+		if len(fields) >= 6 && upper[4] == "STRATEGY" {
+			st, err := ParseStrategy(fields[5])
+			if err != nil {
+				return nil, err
+			}
+			opts.Strategy = st
+		} else if len(fields) != 4 {
+			return nil, fmt.Errorf("core: usage: MIGRATE <tenant> TO <node> [STRATEGY <name>]")
+		}
+		rep, err := a.mw.Migrate(fields[1], fields[3], opts)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Result{
+			Columns: []string{"report"},
+			Rows:    [][]sqlmini.Value{{sqlmini.NewText(rep.String())}},
+			Tag:     "MIGRATE",
+		}, nil
+
+	case len(fields) == 1 && upper[0] == "STATUS":
+		res := &engine.Result{Columns: []string{"tenant", "node", "mlc"}, Tag: "STATUS"}
+		for _, name := range a.mw.Tenants() {
+			t, ok := a.mw.Tenant(name)
+			if !ok {
+				continue
+			}
+			node, _ := t.Node()
+			res.Rows = append(res.Rows, []sqlmini.Value{
+				sqlmini.NewText(name),
+				sqlmini.NewText(node.BackendName()),
+				sqlmini.NewInt(int64(t.MLC())),
+			})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: unknown admin command %q", cmd)
+}
+
+// ParseStrategy converts a strategy name (as printed by String) to its
+// value. Case-insensitive; accepts "BALL"/"B-ALL" style variants.
+func ParseStrategy(s string) (Strategy, error) {
+	switch strings.ToUpper(strings.ReplaceAll(s, "-", "")) {
+	case "MADEUS":
+		return Madeus, nil
+	case "BALL":
+		return BAll, nil
+	case "BMIN":
+		return BMin, nil
+	case "BCON":
+		return BCon, nil
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", s)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"madeus/internal/engine"
+)
+
+func TestAdminChannel(t *testing.T) {
+	rig := newRig(t, 2, engine.Options{})
+	admin := rig.connect(t, AdminDB)
+	defer admin.Close()
+
+	// Provision a tenant through the control channel.
+	if _, err := admin.Exec("ADD TENANT shop ON node0"); err != nil {
+		t.Fatal(err)
+	}
+	c := rig.connect(t, "shop")
+	mustExecAll(t, c, "CREATE TABLE t (id INT PRIMARY KEY)", "INSERT INTO t (id) VALUES (1)")
+	c.Close()
+
+	// STATUS lists the tenant on node0.
+	res, err := admin.Exec("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str != "shop" || res.Rows[0][1].Str != "node0" {
+		t.Fatalf("STATUS rows = %v", res.Rows)
+	}
+
+	// Migrate via the control channel.
+	res, err = admin.Exec("MIGRATE shop TO node1 STRATEGY B-MIN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || !strings.Contains(res.Rows[0][0].Str, "B-MIN") {
+		t.Fatalf("MIGRATE report = %v", res.Rows)
+	}
+	res, err = admin.Exec("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][1].Str != "node1" {
+		t.Errorf("tenant still on %s", res.Rows[0][1].Str)
+	}
+}
+
+func TestAdminErrors(t *testing.T) {
+	rig := newRig(t, 1, engine.Options{})
+	admin := rig.connect(t, AdminDB)
+	defer admin.Close()
+	for _, cmd := range []string{
+		"",
+		"FLY ME",
+		"ADD TENANT x",
+		"ADD TENANT x ON nope",
+		"MIGRATE x TO node0",
+		"MIGRATE x TO node0 STRATEGY warp",
+		"MIGRATE x y z",
+	} {
+		if _, err := admin.Exec(cmd); err == nil {
+			t.Errorf("Exec(%q): want error", cmd)
+		}
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"madeus": Madeus, "Madeus": Madeus, "MADEUS": Madeus,
+		"b-all": BAll, "BALL": BAll,
+		"B-MIN": BMin, "bmin": BMin,
+		"B-CON": BCon, "bcon": BCon,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseStrategy("turbo"); err == nil {
+		t.Error("want error for unknown strategy")
+	}
+	// Round trip through String().
+	for _, s := range Strategies() {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip %v failed: %v %v", s, got, err)
+		}
+	}
+}

@@ -1,0 +1,559 @@
+package core
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"madeus/internal/simlat"
+	"madeus/internal/wire"
+)
+
+// errAborted marks propagation cancelled by the manager.
+var errAborted = errors.New("core: propagation aborted")
+
+// PropagationStats summarizes one Step-3 run.
+type PropagationStats struct {
+	Syncsets     int   // syncsets applied on the slave
+	Ops          int   // operations (incl. BEGIN/COMMIT) sent to the slave
+	CommitGroups []int // commit batch sizes (Madeus: >1 means group commit)
+	MaxGroup     int
+}
+
+// propagator drives Step 3 for one migration: it consumes the tenant's SSL
+// and replays syncsets on the destination according to the strategy.
+type propagator struct {
+	t        *Tenant
+	dest     Backend
+	strategy Strategy
+	maxConns int
+	mts      uint64
+
+	// conn pool
+	poolMu  sync.Mutex
+	idle    []*wire.Client
+	created int
+
+	// progress accounting
+	mu      sync.Mutex
+	applied int
+	ops     int
+	stats   PropagationStats
+	err     error
+	stopReq bool
+	abort   chan struct{} // closed on failure/abort
+	aborted bool
+	done    chan struct{} // closed when the run loop exits
+
+	cursor int // next SSL index to consume (run loop only)
+
+	// B-CON commit token: players block on herdCond and are ALL woken at
+	// every commit (the naive pthread pattern the paper blames for
+	// B-CON's collapse: "all players compete for the pthread mutex lock
+	// at every commit time").
+	herdMu   sync.Mutex
+	herdCond *sync.Cond
+	herdSpin time.Duration
+}
+
+// startPropagation launches Step 3. mts is the migration timestamp: the MLC
+// value at the snapshot; the first commit to replay has ETS == mts.
+func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, mts uint64, herdSpin time.Duration) *propagator {
+	p := &propagator{
+		t:        t,
+		dest:     dest,
+		strategy: strategy,
+		maxConns: maxConns,
+		mts:      mts,
+		herdSpin: herdSpin,
+		abort:    make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	p.herdCond = sync.NewCond(&p.herdMu)
+	go p.run()
+	return p
+}
+
+// Err returns the propagation failure, if any.
+func (p *propagator) Err() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Stats returns the accumulated statistics.
+func (p *propagator) Stats() PropagationStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Syncsets = p.applied
+	st.Ops = p.ops
+	for _, g := range st.CommitGroups {
+		if g > st.MaxGroup {
+			st.MaxGroup = g
+		}
+	}
+	return st
+}
+
+// Lag reports how many linked syncsets have not yet been applied.
+func (p *propagator) Lag() int {
+	n := p.t.sslLen()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return n - p.applied
+}
+
+// Debt reports how many syncsets the slave is BEHIND by: linked syncsets
+// that are eligible for full replay now but have not been applied. Syncsets
+// whose commits the LSIR holds back (rule 1-b: a still-active master
+// transaction with a stamped STS precedes them) are an irreducible floor,
+// not debt — under sustained load that floor never reaches zero, so catch-up
+// detection uses Debt, not Lag.
+func (p *propagator) Debt() int {
+	if p.strategy == BAll || p.strategy == BMin {
+		// Serial strategies replay in link order with no LSIR holds.
+		return p.Lag()
+	}
+	t := p.t
+	t.mu.Lock()
+	linked := len(t.ssl)
+	bound := t.commitBoundLocked()
+	t.mu.Unlock()
+	// ETS values are contiguous from the MTS, so the number of linked
+	// syncsets whose commits are below the bound is min(linked, bound-mts).
+	flushable := linked
+	if bound != ^uint64(0) && bound >= p.mts {
+		if n := int(bound - p.mts); n < flushable {
+			flushable = n
+		}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	d := flushable - p.applied
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// RequestStop asks the run loop to exit once the SSL is fully drained.
+func (p *propagator) RequestStop() {
+	p.mu.Lock()
+	p.stopReq = true
+	p.mu.Unlock()
+	p.t.mu.Lock()
+	p.t.cond.Broadcast()
+	p.t.mu.Unlock()
+}
+
+// Abort cancels propagation immediately.
+func (p *propagator) Abort() { p.fail(errAborted) }
+
+// Wait blocks until the run loop exits and returns its error.
+func (p *propagator) Wait() error {
+	<-p.done
+	return p.Err()
+}
+
+func (p *propagator) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	already := p.aborted
+	p.aborted = true
+	p.mu.Unlock()
+	if !already {
+		close(p.abort)
+		p.herdMu.Lock()
+		p.herdCond.Broadcast()
+		p.herdMu.Unlock()
+		p.t.mu.Lock()
+		p.t.cond.Broadcast()
+		p.t.mu.Unlock()
+	}
+}
+
+func (p *propagator) stopRequested() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stopReq || p.aborted
+}
+
+func (p *propagator) markApplied(ops int) {
+	p.mu.Lock()
+	p.applied++
+	p.ops += ops
+	p.mu.Unlock()
+}
+
+func (p *propagator) noteGroup(n int) {
+	p.mu.Lock()
+	p.stats.CommitGroups = append(p.stats.CommitGroups, n)
+	p.mu.Unlock()
+}
+
+// --- connection pool ---
+
+func (p *propagator) getConn() (*wire.Client, error) {
+	p.poolMu.Lock()
+	if n := len(p.idle); n > 0 {
+		c := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.poolMu.Unlock()
+		return c, nil
+	}
+	p.created++
+	p.poolMu.Unlock()
+	return p.dest.Connect(p.t.Name)
+}
+
+func (p *propagator) putConn(c *wire.Client) {
+	p.poolMu.Lock()
+	p.idle = append(p.idle, c)
+	p.poolMu.Unlock()
+}
+
+func (p *propagator) closeConns() {
+	p.poolMu.Lock()
+	for _, c := range p.idle {
+		c.Close()
+	}
+	p.idle = nil
+	p.poolMu.Unlock()
+}
+
+// takeLinked pulls newly linked SSBs. When block is set and none are
+// available it waits for ONE state change (SSL growth, active-set change,
+// or stop) and returns — the caller re-evaluates with the fresh commit
+// bound, so bound-only wakeups are never swallowed. It returns the new
+// SSBs, the current commit bound, and whether a stop has been requested.
+func (p *propagator) takeLinked(block bool) (news []*SSB, bound uint64, stopped bool) {
+	t := p.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if p.cursor == len(t.ssl) && block && !p.stopRequested() {
+		t.cond.Wait()
+	}
+	if p.cursor < len(t.ssl) {
+		news = append(news, t.ssl[p.cursor:]...)
+		p.cursor = len(t.ssl)
+	}
+	return news, t.commitBoundLocked(), p.stopRequested()
+}
+
+// run dispatches to the strategy-specific loop and cleans up.
+func (p *propagator) run() {
+	defer close(p.done)
+	defer p.closeConns()
+	var err error
+	switch p.strategy {
+	case BAll, BMin:
+		err = p.runSerial()
+	default:
+		err = p.runConcurrent()
+	}
+	if err != nil {
+		p.fail(err)
+	}
+}
+
+// runSerial is the B-ALL / B-MIN loop: replay whole syncsets one at a time
+// in commit (link) order over a single connection.
+func (p *propagator) runSerial() error {
+	conn, err := p.getConn()
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	for {
+		news, _, stop := p.takeLinked(true)
+		if stop && len(news) == 0 {
+			return nil
+		}
+		for _, b := range news {
+			if err := p.replaySerial(conn, b); err != nil {
+				return err
+			}
+			p.markApplied(b.OpCount() + 1) // + BEGIN
+		}
+	}
+}
+
+func (p *propagator) replaySerial(conn *wire.Client, b *SSB) error {
+	select {
+	case <-p.abort:
+		return errAborted
+	default:
+	}
+	if _, err := conn.Exec("BEGIN"); err != nil {
+		return fmt.Errorf("core: replay BEGIN: %w", err)
+	}
+	for _, e := range b.Entries {
+		if _, err := conn.Exec(e.SQL); err != nil {
+			return fmt.Errorf("core: replay %q: %w", e.SQL, err)
+		}
+	}
+	if _, err := conn.Exec("COMMIT"); err != nil {
+		return fmt.Errorf("core: replay COMMIT: %w", err)
+	}
+	p.noteGroup(1)
+	return nil
+}
+
+// --- concurrent propagation (Madeus and B-CON) ---
+
+// runState is one in-flight syncset replay handled by a player goroutine.
+type runState struct {
+	b          *SSB
+	firstDone  chan struct{}
+	writesDone chan struct{}
+	commitGo   chan struct{} // Madeus: closed by the conductor
+	herdGo     bool          // B-CON: set under herdMu
+	done       chan struct{}
+
+	errMu sync.Mutex
+	err   error
+}
+
+// setErr records the player's failure (first failure wins).
+func (r *runState) setErr(err error) {
+	r.errMu.Lock()
+	if r.err == nil {
+		r.err = err
+	}
+	r.errMu.Unlock()
+}
+
+// Err returns the player's failure, if any.
+func (r *runState) Err() error {
+	r.errMu.Lock()
+	defer r.errMu.Unlock()
+	return r.err
+}
+
+// ssbHeap orders pending SSBs by STS (ties by ETS) for dispatch.
+type ssbHeap []*SSB
+
+func (h ssbHeap) Len() int { return len(h) }
+func (h ssbHeap) Less(i, j int) bool {
+	if h[i].STS != h[j].STS {
+		return h[i].STS < h[j].STS
+	}
+	return h[i].ETS < h[j].ETS
+}
+func (h ssbHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *ssbHeap) Push(x any)   { *h = append(*h, x.(*SSB)) }
+func (h *ssbHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h ssbHeap) peek() *SSB    { return h[0] }
+func (h ssbHeap) empty() bool   { return len(h) == 0 }
+
+// runConcurrent is the conductor of Algorithm 4, generalized to a streaming
+// SSL. Invariants enforced (see the LSIR, Definition 3):
+//
+//   - a syncset's first read is dispatched only when every commit with
+//     ETS < its STS has completed on the slave (rule 1-a): dispatch
+//     eligibility is STS <= nextETS;
+//   - a commit with ETS = e is propagated only after every first read with
+//     STS <= e has completed (rule 1-b): commits flush contiguously from
+//     nextETS, only below the commit bound (no unresolved master
+//     transaction with a stamped STS <= e), and only after the wave's
+//     first-read barrier;
+//   - writes replay FIFO within each player (rule 2);
+//   - commits eligible together flush concurrently — the slave group
+//     commits them (Madeus) — or serially in ETS order through the
+//     contended token (B-CON).
+func (p *propagator) runConcurrent() error {
+	var pending ssbHeap
+	runs := make(map[uint64]*runState)
+	nextETS := p.mts
+	lastBound := uint64(0)
+
+	for {
+		eligible := !pending.empty() && pending.peek().STS <= nextETS
+		_, flushCandidate := runs[nextETS]
+		canFlush := flushCandidate && nextETS < lastBound
+		news, bound, stopped := p.takeLinked(!eligible && !canFlush)
+		lastBound = bound
+		for _, b := range news {
+			heap.Push(&pending, b)
+		}
+		if stopped && len(news) == 0 && pending.empty() && len(runs) == 0 {
+			return nil
+		}
+		if stopped && len(news) == 0 && !(!pending.empty() && pending.peek().STS <= nextETS) && !flushCandidate && len(runs) == 0 {
+			// Stop requested but ineligible syncsets remain: with the
+			// gate closed and active transactions drained this cannot
+			// happen (ETS values are contiguous); guard anyway.
+			return fmt.Errorf("core: propagation stalled with %d undispatchable syncsets at ETS %d", pending.Len(), nextETS)
+		}
+
+		// Dispatch every eligible syncset (first reads of the wave).
+		var wave []*runState
+		for !pending.empty() && pending.peek().STS <= nextETS {
+			b := heap.Pop(&pending).(*SSB)
+			r := &runState{
+				b:          b,
+				firstDone:  make(chan struct{}),
+				writesDone: make(chan struct{}),
+				commitGo:   make(chan struct{}),
+				done:       make(chan struct{}),
+			}
+			runs[b.ETS] = r
+			wave = append(wave, r)
+			go p.player(r)
+		}
+		// Barrier: all first operations of the wave propagated
+		// (Algorithm 4, line 5).
+		for _, r := range wave {
+			<-r.firstDone
+			if err := r.Err(); err != nil {
+				return err
+			}
+		}
+
+		// Flush commits contiguously from nextETS (Equation 1's batch).
+		var batch []*runState
+		for {
+			r, ok := runs[nextETS]
+			if !ok || r.b.ETS >= bound {
+				break
+			}
+			<-r.writesDone
+			if err := r.Err(); err != nil {
+				return err
+			}
+			batch = append(batch, r)
+			delete(runs, nextETS)
+			nextETS++
+		}
+		if len(batch) > 0 {
+			if err := p.flushCommits(batch); err != nil {
+				return err
+			}
+		}
+		if p.Err() != nil {
+			return p.Err()
+		}
+	}
+}
+
+// flushCommits propagates one batch of commits. Madeus releases them all
+// concurrently (the slave's WAL group commits them); B-CON walks them in
+// master commit order through the thundering-herd token.
+func (p *propagator) flushCommits(batch []*runState) error {
+	if p.strategy == BCon {
+		for _, r := range batch {
+			p.herdMu.Lock()
+			r.herdGo = true
+			p.herdCond.Broadcast() // wake EVERY waiting player
+			p.herdMu.Unlock()
+			<-r.done
+			if err := r.Err(); err != nil {
+				return err
+			}
+			p.noteGroup(1)
+			p.markApplied(r.b.OpCount() + 1)
+		}
+		return nil
+	}
+	for _, r := range batch {
+		close(r.commitGo)
+	}
+	for _, r := range batch {
+		<-r.done
+		if err := r.Err(); err != nil {
+			return err
+		}
+		p.markApplied(r.b.OpCount() + 1)
+	}
+	p.noteGroup(len(batch))
+	return nil
+}
+
+// player replays one syncset on the slave (Algorithm 5): first operation,
+// writes in FIFO order, then the commit when the conductor orders it.
+func (p *propagator) player(r *runState) {
+	firstClosed, writesClosed := false, false
+	var conn *wire.Client
+	defer func() {
+		if !firstClosed {
+			close(r.firstDone)
+		}
+		if !writesClosed {
+			close(r.writesDone)
+		}
+		close(r.done)
+		if conn != nil {
+			if r.Err() == nil {
+				p.putConn(conn)
+			} else {
+				conn.Close()
+			}
+		}
+	}()
+
+	conn, err := p.getConn()
+	if err != nil {
+		r.setErr(err)
+		return
+	}
+	if _, err := conn.Exec("BEGIN"); err != nil {
+		r.setErr(fmt.Errorf("core: player BEGIN: %w", err))
+		return
+	}
+	if _, err := conn.Exec(r.b.FirstOp().SQL); err != nil {
+		r.setErr(fmt.Errorf("core: player first op %q: %w", r.b.FirstOp().SQL, err))
+		return
+	}
+	close(r.firstDone)
+	firstClosed = true
+
+	for _, e := range r.b.Rest() {
+		if _, err := conn.Exec(e.SQL); err != nil {
+			r.setErr(fmt.Errorf("core: player %q: %w", e.SQL, err))
+			return
+		}
+	}
+	close(r.writesDone)
+	writesClosed = true
+
+	// Wait for the commit order.
+	if p.strategy == BCon {
+		p.herdMu.Lock()
+		for !r.herdGo && !p.isAborted() {
+			p.herdCond.Wait()
+			// Mutex competition: every woken player pays before
+			// discovering whose turn it is. Burned while holding
+			// herdMu, so the convoy serializes — the cost the paper
+			// measured in B-CON's collapse.
+			simlat.CPU(p.herdSpin)
+		}
+		aborted := p.isAborted() && !r.herdGo
+		p.herdMu.Unlock()
+		if aborted {
+			r.setErr(errAborted)
+			return
+		}
+	} else {
+		select {
+		case <-r.commitGo:
+		case <-p.abort:
+			r.setErr(errAborted)
+			return
+		}
+	}
+	if _, err := conn.Exec("COMMIT"); err != nil {
+		r.setErr(fmt.Errorf("core: player COMMIT: %w", err))
+		return
+	}
+}
+
+func (p *propagator) isAborted() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.aborted
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"madeus/internal/cluster"
+	"madeus/internal/engine"
+	"madeus/internal/sqlmini"
+)
+
+// slaveRig builds a tenant state (no middleware traffic) plus a destination
+// node primed with a table, for driving the propagator directly.
+func slaveRig(t *testing.T) (*Tenant, *cluster.Node) {
+	t.Helper()
+	src, err := cluster.NewNode("src", cluster.NodeOptions{Engine: engine.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(src.Close)
+	dst, err := cluster.NewNode("dst", cluster.NodeOptions{Engine: engine.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dst.Close)
+	if err := dst.Engine.CreateDatabase("a"); err != nil {
+		t.Fatal(err)
+	}
+	c, err := dst.Connect("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE kv (k INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 10; k++ {
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO kv (k, v) VALUES (%d, 0)", k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tn := NewTenant("a", src)
+	tn.startCapture(false)
+	return tn, dst
+}
+
+// linkSSB fabricates a committed update syncset and links it.
+func linkSSB(tn *Tenant, sts, ets uint64, stmts ...string) *SSB {
+	b := &SSB{STS: sts, ETS: ets, update: true}
+	for _, s := range stmts {
+		class, _ := sqlmini.ClassifyQuery(s)
+		b.Entries = append(b.Entries, Entry{SQL: s, Class: class})
+	}
+	tn.mu.Lock()
+	tn.ssl = append(tn.ssl, b)
+	tn.mlc = ets + 1
+	tn.cond.Broadcast()
+	tn.mu.Unlock()
+	return b
+}
+
+func slaveValue(t *testing.T, dst *cluster.Node, k int) int64 {
+	t.Helper()
+	c, err := dst.Connect("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Exec(fmt.Sprintf("SELECT v FROM kv WHERE k = %d", k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		return -1
+	}
+	return res.Rows[0][0].Int
+}
+
+func TestPropagatorAppliesMadeusSyncsets(t *testing.T) {
+	tn, dst := slaveRig(t)
+	// Two concurrent txns (same STS) then one after them.
+	linkSSB(tn, 0, 0, "SELECT v FROM kv WHERE k = 1", "UPDATE kv SET v = v + 1 WHERE k = 1")
+	linkSSB(tn, 0, 1, "SELECT v FROM kv WHERE k = 2", "UPDATE kv SET v = v + 2 WHERE k = 2")
+	linkSSB(tn, 2, 2, "SELECT v FROM kv WHERE k = 1", "UPDATE kv SET v = v + 10 WHERE k = 1")
+
+	p := startPropagation(tn, dst, Madeus, 8, 0, 0)
+	p.RequestStop()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := slaveValue(t, dst, 1); got != 11 {
+		t.Errorf("k=1 v=%d, want 11", got)
+	}
+	if got := slaveValue(t, dst, 2); got != 2 {
+		t.Errorf("k=2 v=%d, want 2", got)
+	}
+	st := p.Stats()
+	if st.Syncsets != 3 {
+		t.Errorf("applied %d, want 3", st.Syncsets)
+	}
+	// The two ETS-adjacent concurrent commits form one batch.
+	if st.MaxGroup < 2 {
+		t.Errorf("MaxGroup = %d, want >= 2", st.MaxGroup)
+	}
+}
+
+// TestPropagatorHoldsCommitsBehindActiveFirstOp checks LSIR rule 1-b at the
+// propagator level: a commit whose ETS is at or above an unresolved
+// transaction's STS must not reach the slave until that transaction
+// resolves.
+func TestPropagatorHoldsCommitsBehindActiveFirstOp(t *testing.T) {
+	tn, dst := slaveRig(t)
+
+	// An active transaction stamped at STS 0 (first op done, not
+	// committed) bounds all commits with ETS >= 0.
+	active := &SSB{STS: 0}
+	tn.mu.Lock()
+	tn.firstOpStampedLocked(active)
+	tn.mu.Unlock()
+
+	linkSSB(tn, 0, 0, "SELECT v FROM kv WHERE k = 3", "UPDATE kv SET v = 7 WHERE k = 3")
+	p := startPropagation(tn, dst, Madeus, 8, 0, 0)
+	defer func() {
+		p.Abort()
+		p.Wait()
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	if got := slaveValue(t, dst, 3); got != 0 {
+		t.Fatalf("commit leaked past the bound: k=3 v=%d", got)
+	}
+	if p.Debt() != 0 {
+		t.Errorf("held-back syncset counted as debt: %d", p.Debt())
+	}
+
+	// Resolving the active transaction releases the bound.
+	tn.mu.Lock()
+	tn.resolveSSBLocked(active, false)
+	tn.mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for slaveValue(t, dst, 3) != 7 {
+		if time.Now().After(deadline) {
+			t.Fatal("commit never propagated after bound release")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPropagatorSerialOrder(t *testing.T) {
+	tn, dst := slaveRig(t)
+	// Serial replay must preserve link order: two increments on one key.
+	linkSSB(tn, 0, 0, "SELECT v FROM kv WHERE k = 5", "UPDATE kv SET v = v * 10 + 1 WHERE k = 5")
+	linkSSB(tn, 1, 1, "SELECT v FROM kv WHERE k = 5", "UPDATE kv SET v = v * 10 + 2 WHERE k = 5")
+	p := startPropagation(tn, dst, BMin, 1, 0, 0)
+	p.RequestStop()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := slaveValue(t, dst, 5); got != 12 {
+		t.Errorf("k=5 v=%d, want 12 (ordered replay)", got)
+	}
+}
+
+func TestPropagatorReplayErrorFailsMigrationPath(t *testing.T) {
+	tn, dst := slaveRig(t)
+	linkSSB(tn, 0, 0, "SELECT v FROM kv WHERE k = 1", "UPDATE nosuch SET v = 1 WHERE k = 1")
+	p := startPropagation(tn, dst, Madeus, 8, 0, 0)
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("replay error never surfaced")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	p.Abort()
+	p.Wait()
+}
+
+func TestSSBHeapOrdersBySTSThenETS(t *testing.T) {
+	var h ssbHeap
+	heap.Push(&h, &SSB{STS: 3, ETS: 9})
+	heap.Push(&h, &SSB{STS: 1, ETS: 5})
+	heap.Push(&h, &SSB{STS: 3, ETS: 4})
+	heap.Push(&h, &SSB{STS: 1, ETS: 2})
+	var got []uint64
+	for !h.empty() {
+		b := heap.Pop(&h).(*SSB)
+		got = append(got, b.STS*100+b.ETS)
+	}
+	want := []uint64{102, 105, 304, 309}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTenantGateBlocksNewTxns(t *testing.T) {
+	tn := NewTenant("x", nil)
+	tn.setGate(true)
+	started := make(chan struct{})
+	go func() {
+		tn.txnStarted() // blocks on the gate
+		close(started)
+	}()
+	select {
+	case <-started:
+		t.Fatal("txnStarted did not block on a closed gate")
+	case <-time.After(30 * time.Millisecond):
+	}
+	tn.setGate(false)
+	select {
+	case <-started:
+	case <-time.After(time.Second):
+		t.Fatal("txnStarted never unblocked")
+	}
+	tn.txnEnded()
+}
+
+func TestTenantDrainWaitsForActive(t *testing.T) {
+	tn := NewTenant("x", nil)
+	tn.txnStarted()
+	drained := make(chan struct{})
+	go func() {
+		tn.setGate(true)
+		tn.drainActive()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		t.Fatal("drain finished with an active txn")
+	case <-time.After(30 * time.Millisecond):
+	}
+	tn.txnEnded()
+	select {
+	case <-drained:
+	case <-time.After(time.Second):
+		t.Fatal("drain never finished")
+	}
+	tn.setGate(false)
+}
+
+func TestCommitBound(t *testing.T) {
+	tn := NewTenant("x", nil)
+	tn.mu.Lock()
+	if got := tn.commitBoundLocked(); got != ^uint64(0) {
+		t.Errorf("empty bound = %d", got)
+	}
+	a, b := &SSB{STS: 7}, &SSB{STS: 3}
+	tn.firstOpStampedLocked(a)
+	tn.firstOpStampedLocked(b)
+	if got := tn.commitBoundLocked(); got != 3 {
+		t.Errorf("bound = %d, want 3", got)
+	}
+	tn.resolveSSBLocked(b, false)
+	if got := tn.commitBoundLocked(); got != 7 {
+		t.Errorf("bound = %d, want 7", got)
+	}
+	tn.mu.Unlock()
+}
+
+func TestSSBHelpers(t *testing.T) {
+	b := &SSB{Entries: []Entry{
+		{SQL: "SELECT 1 FROM t", Class: sqlmini.OpRead},
+		{SQL: "UPDATE t SET a = 1", Class: sqlmini.OpWrite},
+	}}
+	if b.FirstOp().SQL != "SELECT 1 FROM t" {
+		t.Error("FirstOp")
+	}
+	if len(b.Rest()) != 1 || b.Rest()[0].Class != sqlmini.OpWrite {
+		t.Error("Rest")
+	}
+	if b.OpCount() != 3 { // entries + commit
+		t.Errorf("OpCount = %d", b.OpCount())
+	}
+	empty := &SSB{}
+	if empty.FirstOp().SQL != "" || empty.Rest() != nil {
+		t.Error("empty SSB helpers")
+	}
+}
+
+// TestPropagatorConcurrentStress floods the propagator with syncsets from a
+// generator goroutine while it runs, then verifies completeness.
+func TestPropagatorConcurrentStress(t *testing.T) {
+	tn, dst := slaveRig(t)
+	const n = 300
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			k := i % 10
+			linkSSB(tn, uint64(i), uint64(i),
+				fmt.Sprintf("SELECT v FROM kv WHERE k = %d", k),
+				fmt.Sprintf("UPDATE kv SET v = v + 1 WHERE k = %d", k))
+			if i%50 == 0 {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	p := startPropagation(tn, dst, Madeus, 16, 0, 0)
+	wg.Wait()
+	p.RequestStop()
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Syncsets != n {
+		t.Errorf("applied %d, want %d", st.Syncsets, n)
+	}
+	total := int64(0)
+	for k := 0; k < 10; k++ {
+		total += slaveValue(t, dst, k)
+	}
+	if total != n {
+		t.Errorf("sum of increments = %d, want %d", total, n)
+	}
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"madeus/internal/sqlmini"
+)
+
+// ErrCatchupTimeout reports that the slave could not catch up with the
+// master within the configured window — the condition the paper reports as
+// "N/A" for B-CON under heavy workload (Sec 5.3.2).
+var ErrCatchupTimeout = errors.New("core: slave could not catch up with the master")
+
+// MigrateOptions tunes one migration.
+type MigrateOptions struct {
+	// Strategy selects the propagation protocol. Default Madeus.
+	Strategy Strategy
+	// Backups are additional destination nodes that receive the snapshot
+	// and the syncset stream in parallel (Sec 4.2: "Madeus can propagate
+	// syncsets to multiple slaves at the same time. If a slave fails,
+	// Madeus discards the slave and continues to propagate the remaining
+	// syncsets to the others."). If the primary destination fails during
+	// migration, the first surviving backup is promoted and receives the
+	// switch-over.
+	Backups []string
+	// Players overrides the middleware's player cap for this migration.
+	Players int
+	// CatchupTimeout overrides the middleware's catch-up window.
+	CatchupTimeout time.Duration
+	// CatchupLag is the syncset DEBT at or below which the slave is
+	// considered caught up and Step 4 (suspend + final drain + switch)
+	// begins. Debt counts syncsets that are replayable now but not yet
+	// applied; syncsets the LSIR holds back behind active master
+	// transactions are an irreducible floor and are excluded. A small
+	// threshold stands in for the paper's "all SSBs linked to the SSL
+	// have been propagated" under sustained load; Step 4's suspension
+	// drains whatever remains. Defaults to 64.
+	CatchupLag int
+	// KeepSource leaves the source copy in place after switch-over
+	// (used by consistency tests to compare master and slave states).
+	KeepSource bool
+}
+
+// Report describes a completed (or failed) migration.
+type Report struct {
+	Tenant   string
+	Source   string
+	Dest     string
+	Strategy Strategy
+
+	Start time.Time
+	End   time.Time
+
+	// Step durations (Sec 4.3's Steps 1-4).
+	DrainTime     time.Duration // Step 1: quiescing in-flight transactions
+	SnapshotTime  time.Duration // Step 1: dump transaction
+	RestoreTime   time.Duration // Step 2: creating the slave
+	PropagateTime time.Duration // Step 3: syncset propagation until caught up
+	SwitchTime    time.Duration // Step 4: final drain + switch-over
+
+	// MTS is the migration timestamp: the MLC at the snapshot.
+	MTS uint64
+
+	Propagation PropagationStats
+
+	// Discarded lists slaves dropped mid-migration after a failure
+	// (multi-slave migrations only).
+	Discarded []string
+
+	// Failed is set when the migration aborted (service continues on the
+	// source); Err carries the cause.
+	Failed bool
+	Err    error
+}
+
+// Total is the end-to-end migration time (the y-axis of Fig 6).
+func (r *Report) Total() time.Duration { return r.End.Sub(r.Start) }
+
+// Migrate live-migrates a tenant to the destination node (Algorithm 3):
+//
+//	Step 1  create a snapshot of the master (after draining in-flight
+//	        transactions so no transaction spans the snapshot cut — see
+//	        DESIGN.md on LSIR rule 1-b vs. snapshot-internal commits)
+//	Step 2  create the slave from the snapshot
+//	Step 3  propagate syncsets per the strategy until the slave catches up
+//	Step 4  suspend, drain the last syncsets, switch over, resume
+//
+// Customer transactions keep executing on the master through Steps 1-3; the
+// only stalls are the two short drains, which is what Figures 7/8 show as
+// latency blips at migration start and end.
+func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (*Report, error) {
+	t, ok := m.Tenant(tenantName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tenant %q", tenantName)
+	}
+	dest, ok := m.Node(destName)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown node %q", destName)
+	}
+	source, _ := t.Node()
+	if source == dest {
+		return nil, fmt.Errorf("core: tenant %q is already on node %q", tenantName, destName)
+	}
+	// slaves[0] is the primary destination; the rest are backups.
+	slaves := []Backend{dest}
+	for _, b := range opts.Backups {
+		bn, ok := m.Node(b)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown backup node %q", b)
+		}
+		if bn == source || bn == dest {
+			return nil, fmt.Errorf("core: backup node %q duplicates the source or destination", b)
+		}
+		slaves = append(slaves, bn)
+	}
+	if opts.Players <= 0 {
+		opts.Players = m.opts.Players
+	}
+	if opts.CatchupTimeout <= 0 {
+		opts.CatchupTimeout = m.opts.CatchupTimeout
+	}
+	if opts.CatchupLag <= 0 {
+		opts.CatchupLag = 64
+	}
+
+	rep := &Report{
+		Tenant:   tenantName,
+		Source:   source.BackendName(),
+		Dest:     destName,
+		Strategy: opts.Strategy,
+		Start:    time.Now(),
+	}
+
+	t.mu.Lock()
+	if t.migrating {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("core: tenant %q is already migrating", tenantName)
+	}
+	t.mu.Unlock()
+
+	// Capture starts before the snapshot so operations racing the dump
+	// are saved (Step 1: "Madeus saves the operations as a syncset").
+	t.startCapture(opts.Strategy.captureAll())
+
+	fail := func(err error) (*Report, error) {
+		t.stopCapture()
+		t.setGate(false)
+		rep.Failed = true
+		rep.Err = err
+		rep.End = time.Now()
+		// Discard the partial slaves, if any.
+		for _, sl := range slaves {
+			dropDatabase(sl, tenantName)
+		}
+		return rep, err
+	}
+
+	// --- Step 1: create a snapshot ---
+	phase := time.Now()
+	t.setGate(true)
+	t.drainActive()
+	rep.DrainTime = time.Since(phase)
+
+	ctl, err := source.Connect(tenantName)
+	if err != nil {
+		return fail(err)
+	}
+	defer ctl.Close()
+	if _, err := ctl.Exec("BEGIN"); err != nil {
+		return fail(err)
+	}
+	phase = time.Now()
+	// Critical region: no commits or first operations execute while the
+	// dump transaction pins its snapshot and the MTS is recorded
+	// (Algorithm 3, lines 1-5).
+	t.mu.Lock()
+	_, err = ctl.Exec("SNAPSHOT")
+	mts := t.mlc
+	t.ssl = nil // everything committed so far is inside the snapshot
+	t.mu.Unlock()
+	if err != nil {
+		return fail(err)
+	}
+	rep.MTS = mts
+	t.setGate(false) // customers resume while the dump streams
+
+	dump, err := ctl.Exec("DUMP")
+	if err != nil {
+		return fail(err)
+	}
+	if _, err := ctl.Exec("COMMIT"); err != nil {
+		return fail(err)
+	}
+	rep.SnapshotTime = time.Since(phase)
+
+	// --- Step 2: create the slaves (in parallel when backups exist) ---
+	phase = time.Now()
+	restoreErrs := make(chan error, len(slaves))
+	for _, sl := range slaves {
+		go func(sl Backend) { restoreErrs <- restoreSlave(sl, tenantName, dump.Rows) }(sl)
+	}
+	for range slaves {
+		if err := <-restoreErrs; err != nil {
+			return fail(err)
+		}
+	}
+	rep.RestoreTime = time.Since(phase)
+
+	// --- Step 3: propagate syncsets (one propagator per slave) ---
+	phase = time.Now()
+	herdSpin := m.opts.BConHerdSpin
+	if herdSpin < 0 {
+		herdSpin = 0
+	}
+	props := make(map[Backend]*propagator, len(slaves))
+	for _, sl := range slaves {
+		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin)
+	}
+	abortAll := func() {
+		for _, p := range props {
+			p.Abort()
+			p.Wait()
+		}
+	}
+	// discardFailed drops slaves whose propagator died; the survivors
+	// keep going. Returns the surviving slave list.
+	discardFailed := func() {
+		live := slaves[:0]
+		for _, sl := range slaves {
+			p := props[sl]
+			if err := p.Err(); err != nil {
+				p.Abort()
+				p.Wait()
+				delete(props, sl)
+				dropDatabase(sl, tenantName)
+				rep.Discarded = append(rep.Discarded, sl.BackendName())
+				continue
+			}
+			live = append(live, sl)
+		}
+		slaves = live
+	}
+	failProp := func(err error) (*Report, error) {
+		abortAll()
+		rep.PropagateTime = time.Since(phase)
+		return fail(err)
+	}
+	deadline := time.Now().Add(opts.CatchupTimeout)
+	// Caught up means the debt stays at the floor, not that it dips there
+	// once: under heavy load the LSIR floor moves every time an old
+	// transaction resolves, so the criterion must hold continuously. With
+	// backups, the promotion candidate (slaves[0]) must catch up.
+	const sustain = 500 * time.Millisecond
+	var lowSince time.Time
+	for {
+		discardFailed()
+		if len(slaves) == 0 {
+			return failProp(fmt.Errorf("core: every slave failed during propagation"))
+		}
+		if props[slaves[0]].Debt() <= opts.CatchupLag {
+			if lowSince.IsZero() {
+				lowSince = time.Now()
+			} else if time.Since(lowSince) >= sustain {
+				break
+			}
+		} else {
+			lowSince = time.Time{}
+		}
+		if time.Now().After(deadline) {
+			return failProp(ErrCatchupTimeout)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	rep.PropagateTime = time.Since(phase)
+
+	// --- Step 4: switch over ---
+	phase = time.Now()
+	t.setGate(true)
+	t.drainActive()
+	for _, p := range props {
+		p.RequestStop()
+	}
+	for _, sl := range slaves {
+		props[sl].Wait() //nolint:errcheck // judged via discardFailed below
+	}
+	discardFailed()
+	if len(slaves) == 0 {
+		return fail(fmt.Errorf("core: every slave failed during the final drain"))
+	}
+	target := slaves[0]
+	rep.Propagation = props[target].Stats()
+	t.switchOver(target)
+	t.stopCapture()
+	t.setGate(false)
+	rep.SwitchTime = time.Since(phase)
+	rep.Dest = target.BackendName()
+	rep.End = time.Now()
+
+	if !opts.KeepSource {
+		dropDatabase(source, tenantName)
+	}
+	// Extra synchronized slaves beyond the promoted one are dropped; a
+	// production deployment could instead keep them as warm replicas.
+	for _, sl := range slaves[1:] {
+		dropDatabase(sl, tenantName)
+	}
+	return rep, nil
+}
+
+// restoreSlave creates the tenant database on a slave node and replays the
+// dump script into it.
+func restoreSlave(sl Backend, tenant string, rows [][]sqlmini.Value) error {
+	if err := sl.CreateDatabase(tenant); err != nil {
+		return err
+	}
+	restore, err := sl.Connect(tenant)
+	if err != nil {
+		return err
+	}
+	defer restore.Close()
+	for _, row := range rows {
+		if _, err := restore.Exec(row[0].Str); err != nil {
+			return fmt.Errorf("core: restore on %s: %w", sl.BackendName(), err)
+		}
+	}
+	return nil
+}
+
+// dropDatabase best-effort drops a tenant database on a node.
+func dropDatabase(node Backend, db string) {
+	node.DropDatabase(db) //nolint:errcheck // absent database is fine
+}
+
+// String renders a compact single-line report.
+func (r *Report) String() string {
+	status := "ok"
+	if r.Failed {
+		status = "FAILED: " + r.Err.Error()
+	}
+	return fmt.Sprintf("migrate %s %s->%s [%s] total=%v drain=%v snap=%v restore=%v propagate=%v switch=%v syncsets=%d maxGroup=%d %s",
+		r.Tenant, r.Source, r.Dest, r.Strategy, r.Total().Round(time.Millisecond),
+		r.DrainTime.Round(time.Millisecond), r.SnapshotTime.Round(time.Millisecond),
+		r.RestoreTime.Round(time.Millisecond), r.PropagateTime.Round(time.Millisecond),
+		r.SwitchTime.Round(time.Millisecond), r.Propagation.Syncsets, r.Propagation.MaxGroup, status)
+}

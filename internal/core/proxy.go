@@ -1,0 +1,440 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"madeus/internal/cluster"
+	"madeus/internal/engine"
+	"madeus/internal/sqlmini"
+	"madeus/internal/wire"
+)
+
+// Options configures the middleware.
+type Options struct {
+	// Players caps the number of concurrent players during Madeus/B-CON
+	// propagation. Defaults to 64.
+	Players int
+	// CatchupTimeout bounds Step 3: if the slave has not caught up with
+	// the master within it, the migration is aborted and reported as
+	// failed ("the slave could not catch up with the master",
+	// Sec 5.3.2's B-CON N/A). Defaults to 2 minutes.
+	CatchupTimeout time.Duration
+	// BConHerdSpin models the pthread mutex competition the paper blames
+	// for B-CON's collapse: "all players compete for the pthread mutex
+	// lock at every commit time" (Sec 5.3.2). Every waiting B-CON player
+	// burns this much CPU at every commit wake-up, so the per-commit cost
+	// grows with the number of in-flight players — the convoy that makes
+	// B-CON worse than B-ALL under load. Defaults to 2ms; negative
+	// disables the model.
+	BConHerdSpin time.Duration
+	// ListenAddr for the customer-facing wire server. Defaults to
+	// "127.0.0.1:0".
+	ListenAddr string
+}
+
+// Backend is a DBMS node as the middleware sees it: a name, per-database
+// sessions, and tenant provisioning. *cluster.Node (in-process, used by
+// tests and the bench harness) and *cluster.Remote (another process,
+// addressed over the wire — the deployment cmd/madeusd manages) both
+// implement it.
+type Backend interface {
+	BackendName() string
+	Connect(db string) (*wire.Client, error)
+	CreateDatabase(db string) error
+	DropDatabase(db string) error
+}
+
+var (
+	_ Backend = (*cluster.Node)(nil)
+	_ Backend = (*cluster.Remote)(nil)
+)
+
+// Middleware is the Madeus process (Fig 1/2): it terminates customer
+// connections, relays operations to each tenant's master node through
+// workers, and runs migrations.
+type Middleware struct {
+	opts Options
+
+	mu      sync.RWMutex
+	tenants map[string]*Tenant
+	nodes   map[string]Backend
+
+	srv *wire.Server
+}
+
+// New starts a middleware instance with its customer-facing listener.
+func New(opts Options) (*Middleware, error) {
+	if opts.Players <= 0 {
+		opts.Players = 64
+	}
+	if opts.CatchupTimeout <= 0 {
+		opts.CatchupTimeout = 2 * time.Minute
+	}
+	if opts.BConHerdSpin == 0 {
+		opts.BConHerdSpin = 2 * time.Millisecond
+	}
+	if opts.ListenAddr == "" {
+		opts.ListenAddr = "127.0.0.1:0"
+	}
+	m := &Middleware{
+		opts:    opts,
+		tenants: make(map[string]*Tenant),
+		nodes:   make(map[string]Backend),
+	}
+	srv, err := wire.Listen(opts.ListenAddr, m)
+	if err != nil {
+		return nil, err
+	}
+	m.srv = srv
+	return m, nil
+}
+
+// Addr is the customer-facing address.
+func (m *Middleware) Addr() string { return m.srv.Addr() }
+
+// Close stops the customer-facing server. Nodes are owned by the caller.
+func (m *Middleware) Close() { m.srv.Close() }
+
+// AddNode registers a DBMS node with the middleware.
+func (m *Middleware) AddNode(n Backend) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.BackendName()] = n
+}
+
+// Node returns a registered node.
+func (m *Middleware) Node(name string) (Backend, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	n, ok := m.nodes[name]
+	return n, ok
+}
+
+// AddTenant registers an existing tenant database living on the named node.
+func (m *Middleware) AddTenant(tenant, nodeName string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	node, ok := m.nodes[nodeName]
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", nodeName)
+	}
+	if _, dup := m.tenants[tenant]; dup {
+		return fmt.Errorf("core: tenant %q already registered", tenant)
+	}
+	// Probe that the tenant database exists on the node.
+	probe, err := node.Connect(tenant)
+	if err != nil {
+		return fmt.Errorf("core: node %q has no database %q: %w", nodeName, tenant, err)
+	}
+	probe.Close()
+	m.tenants[tenant] = NewTenant(tenant, node)
+	return nil
+}
+
+// ProvisionTenant creates the tenant database on the named node and
+// registers it.
+func (m *Middleware) ProvisionTenant(tenant, nodeName string) error {
+	m.mu.RLock()
+	node, ok := m.nodes[nodeName]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("core: unknown node %q", nodeName)
+	}
+	if err := node.CreateDatabase(tenant); err != nil {
+		return err
+	}
+	return m.AddTenant(tenant, nodeName)
+}
+
+// Tenant returns the named tenant's middleware state.
+func (m *Middleware) Tenant(name string) (*Tenant, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	t, ok := m.tenants[name]
+	return t, ok
+}
+
+// Tenants lists registered tenant names.
+func (m *Middleware) Tenants() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.tenants))
+	for n := range m.tenants {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Connect implements wire.Handler: each customer connection gets a worker;
+// connections to AdminDB get the operator control channel.
+func (m *Middleware) Connect(database string) (wire.Conn, error) {
+	if database == AdminDB {
+		return &adminConn{mw: m}, nil
+	}
+	t, ok := m.Tenant(database)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tenant %q", database)
+	}
+	return &worker{mw: m, tenant: t}, nil
+}
+
+// worker is the middleware-side session for one customer connection; it
+// implements Algorithms 1 and 2: relay every operation to the tenant's
+// master, and capture syncsets under the critical region.
+type worker struct {
+	mw     *Middleware
+	tenant *Tenant
+
+	backend    *wire.Client
+	backendGen int
+
+	inTxn     bool
+	firstSeen bool // a first operation succeeded (SSB exists)
+	ssb       *SSB
+}
+
+// ensureBackend (re)connects to the tenant's current master if the tenant
+// moved since the last operation (lazy switch-over). It must be called
+// WITHOUT t.mu held: it reads the routing state itself. Once a transaction
+// is in flight the tenant cannot switch (the manager drains active
+// transactions first), so calling it before entering the critical region is
+// safe.
+func (w *worker) ensureBackend() error {
+	node, gen := w.tenant.Node()
+	if w.backend == nil || w.backendGen != gen {
+		if w.backend != nil {
+			w.backend.Close()
+			w.backend = nil
+		}
+		c, err := node.Connect(w.tenant.Name)
+		if err != nil {
+			return fmt.Errorf("core: connect to %s: %w", node.BackendName(), err)
+		}
+		w.backend = c
+		w.backendGen = gen
+	}
+	return nil
+}
+
+// relay forwards sql to the tenant's current master. Not for use under
+// t.mu — the critical-region paths call ensureBackend first and then
+// w.backend.Exec directly.
+func (w *worker) relay(sql string) (*engine.Result, error) {
+	if err := w.ensureBackend(); err != nil {
+		return nil, err
+	}
+	return w.backend.Exec(sql)
+}
+
+// Exec processes one customer operation (the worker body).
+func (w *worker) Exec(sql string) (*engine.Result, error) {
+	class, err := sqlmini.ClassifyQuery(sql)
+	if err != nil {
+		// Meta commands (DUMP, CREATE DATABASE, ...): relay verbatim.
+		return w.relay(sql)
+	}
+	if w.inTxn {
+		return w.execInTxn(sql, class)
+	}
+	return w.execAutocommit(sql, class)
+}
+
+func (w *worker) execInTxn(sql string, class sqlmini.OpClass) (*engine.Result, error) {
+	t := w.tenant
+	switch class {
+	case sqlmini.OpBegin:
+		return nil, &wire.ServerError{Msg: "core: BEGIN inside a transaction block"}
+
+	case sqlmini.OpCommit:
+		return w.execCommit(sql)
+
+	case sqlmini.OpAbort:
+		res, err := w.relay(sql)
+		w.endTxn(false)
+		return res, err
+
+	default: // reads, writes, DDL
+		if !w.firstSeen {
+			return w.execFirstOp(sql, class)
+		}
+		res, err := w.relay(sql)
+		if err != nil {
+			return res, err
+		}
+		// Capture writes always; other reads only under B-ALL capture.
+		isWrite := class == sqlmini.OpWrite || class == sqlmini.OpDDL
+		t.mu.Lock()
+		if w.ssb != nil && (isWrite || t.captureAll) {
+			w.ssb.Entries = append(w.ssb.Entries, Entry{SQL: sql, Class: class})
+			if isWrite {
+				w.ssb.update = true
+			}
+		}
+		t.mu.Unlock()
+		return res, nil
+	}
+}
+
+// execFirstOp handles the transaction's first operation: executed under the
+// critical region so the STS stamp matches the master-side snapshot order
+// (Algorithm 1, lines 2-9).
+func (w *worker) execFirstOp(sql string, class sqlmini.OpClass) (*engine.Result, error) {
+	t := w.tenant
+	if err := w.ensureBackend(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	res, err := w.backend.Exec(sql)
+	if err != nil {
+		t.mu.Unlock()
+		return res, err
+	}
+	b := &SSB{STS: t.mlc}
+	b.Entries = append(b.Entries, Entry{SQL: sql, Class: class})
+	if class == sqlmini.OpWrite || class == sqlmini.OpDDL {
+		b.update = true
+	}
+	t.firstOpStampedLocked(b)
+	t.mu.Unlock()
+
+	w.ssb = b
+	w.firstSeen = true
+	return res, nil
+}
+
+// execCommit handles COMMIT: read-only transactions bypass the critical
+// region and are discarded; update transactions commit under the region,
+// stamp ETS, advance the MLC, and link to the SSL (Algorithm 1, lines
+// 16-29).
+func (w *worker) execCommit(sql string) (*engine.Result, error) {
+	t := w.tenant
+	b := w.ssb
+
+	if b == nil || !b.update {
+		// Read-only or empty transaction: no MLC movement. Under
+		// B-ALL capture, committed read-only transactions are linked
+		// too (it propagates ALL transactions).
+		res, err := w.relay(sql)
+		t.mu.Lock()
+		if b != nil {
+			linkRO := t.captureAll && err == nil && res != nil && res.Tag == "COMMIT"
+			if linkRO {
+				b.ETS = t.mlc
+			}
+			t.resolveSSBLocked(b, linkRO)
+		}
+		t.mu.Unlock()
+		w.endTxn(true)
+		return res, err
+	}
+
+	if err := w.ensureBackend(); err != nil {
+		t.mu.Lock()
+		t.resolveSSBLocked(b, false)
+		t.mu.Unlock()
+		w.endTxn(true)
+		return nil, err
+	}
+	t.mu.Lock()
+	res, err := w.backend.Exec(sql)
+	switch {
+	case err != nil:
+		t.resolveSSBLocked(b, false)
+	case res.Tag == "COMMIT":
+		b.ETS = t.mlc
+		t.mlc++
+		t.resolveSSBLocked(b, true)
+	default:
+		// "ROLLBACK": the transaction was poisoned server-side.
+		t.resolveSSBLocked(b, false)
+	}
+	t.mu.Unlock()
+	w.endTxn(true)
+	return res, err
+}
+
+// endTxn resets per-transaction worker state. counted reports whether
+// txnStarted was called for this transaction.
+func (w *worker) endTxn(counted bool) {
+	t := w.tenant
+	if w.ssb != nil {
+		// Already resolved by the caller where needed; make sure an
+		// abandoned SSB never lingers in the active set.
+		t.mu.Lock()
+		if _, live := t.activeFirst[w.ssb]; live {
+			t.resolveSSBLocked(w.ssb, false)
+		}
+		t.mu.Unlock()
+	}
+	w.ssb = nil
+	w.inTxn = false
+	w.firstSeen = false
+	_ = counted
+	t.txnEnded()
+}
+
+func (w *worker) execAutocommit(sql string, class sqlmini.OpClass) (*engine.Result, error) {
+	t := w.tenant
+	switch class {
+	case sqlmini.OpBegin:
+		t.txnStarted()
+		res, err := w.relay(sql)
+		if err != nil {
+			t.txnEnded()
+			return res, err
+		}
+		w.inTxn = true
+		w.firstSeen = false
+		w.ssb = nil
+		return res, nil
+
+	case sqlmini.OpCommit, sqlmini.OpAbort:
+		return w.relay(sql) // master reports "outside transaction block"
+
+	case sqlmini.OpRead:
+		res, err := w.relay(sql)
+		if err == nil {
+			t.mu.Lock()
+			if t.migrating && t.captureAll {
+				b := &SSB{STS: t.mlc, ETS: t.mlc}
+				b.Entries = append(b.Entries, Entry{SQL: sql, Class: class})
+				t.resolveSSBLocked(b, true)
+			}
+			t.mu.Unlock()
+		}
+		return res, err
+
+	default: // autocommit write or DDL: a one-statement update transaction
+		t.txnStarted()
+		if err := w.ensureBackend(); err != nil {
+			t.txnEnded()
+			return nil, err
+		}
+		t.mu.Lock()
+		res, err := w.backend.Exec(sql)
+		if err == nil {
+			b := &SSB{STS: t.mlc, ETS: t.mlc, update: true}
+			b.Entries = append(b.Entries, Entry{SQL: sql, Class: class})
+			t.mlc++
+			t.resolveSSBLocked(b, true)
+		}
+		t.mu.Unlock()
+		t.txnEnded()
+		return res, err
+	}
+}
+
+// Close terminates the worker: abandon any open transaction.
+func (w *worker) Close() {
+	if w.inTxn {
+		// Roll the master-side transaction back and release tracking.
+		w.relay("ROLLBACK")
+		w.endTxn(true)
+	}
+	if w.backend != nil {
+		w.backend.Close()
+		w.backend = nil
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import "madeus/internal/sqlmini"
+
+// Entry is one captured operation inside an SSB. Entries are held in FIFO
+// order (Fig 3): the syncset's first operation, then its writes (or, in
+// B-ALL capture mode, every subsequent operation).
+type Entry struct {
+	SQL   string
+	Class sqlmini.OpClass
+}
+
+// SSB is a syncset buffer (Fig 3): the captured operations of one
+// transaction plus its start timestamp (STS, the MLC at its first
+// operation) and end timestamp (ETS, the MLC at its commit).
+type SSB struct {
+	STS, ETS uint64
+	Entries  []Entry
+
+	// update records whether the transaction wrote anything; read-only
+	// SSBs are discarded at commit (mapping function, Definition 2) —
+	// except under B-ALL capture, which propagates them too.
+	update bool
+
+	// propagation state, owned by the conductor.
+	started   bool // first operation dispatched to a player
+	firstDone bool // first operation completed on the slave
+	allDone   bool // writes completed; commit may be ordered
+}
+
+// FirstOp returns the first captured operation.
+func (b *SSB) FirstOp() Entry {
+	if len(b.Entries) == 0 {
+		return Entry{}
+	}
+	return b.Entries[0]
+}
+
+// Rest returns the captured operations after the first.
+func (b *SSB) Rest() []Entry {
+	if len(b.Entries) <= 1 {
+		return nil
+	}
+	return b.Entries[1:]
+}
+
+// OpCount is the number of captured operations plus the commit.
+func (b *SSB) OpCount() int { return len(b.Entries) + 1 }

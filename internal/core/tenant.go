@@ -1,0 +1,173 @@
+package core
+
+import "sync"
+
+// Tenant is the middleware's per-tenant state: the tenant's current master
+// node, the master logical clock, the critical region serializing first
+// operations and commits (Algorithm 1), the syncset list, and the gates the
+// manager uses during migration.
+type Tenant struct {
+	Name string
+
+	// mu is the critical region of Algorithm 1: first operations and
+	// commits execute under it so that the MLC ordering observed by the
+	// middleware equals the snapshot/commit ordering on the master. It
+	// also guards all fields below.
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast on: SSL growth, active-set changes, gate changes
+
+	node Backend // current master node
+	gen  int     // bumped at switch-over; sessions reconnect lazily
+
+	mlc uint64
+
+	gate        bool // true: new transactions blocked (Step 1 drain, Step 4 switch-over)
+	activeTxns  int  // transactions past BEGIN and not yet ended
+	activeFirst map[*SSB]struct{}
+
+	migrating  bool
+	captureAll bool
+	ssl        []*SSB // linked SSBs in link (commit) order
+
+	// counters for reporting
+	capturedOps  int
+	capturedSSBs int
+}
+
+// NewTenant registers tenant state with its initial master node.
+func NewTenant(name string, node Backend) *Tenant {
+	t := &Tenant{Name: name, node: node, activeFirst: make(map[*SSB]struct{})}
+	t.cond = sync.NewCond(&t.mu)
+	return t
+}
+
+// Node returns the tenant's current master node and routing generation.
+func (t *Tenant) Node() (Backend, int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.node, t.gen
+}
+
+// MLC returns the current master logical clock (for tests and monitoring).
+func (t *Tenant) MLC() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.mlc
+}
+
+// waitGateLocked blocks while the manager has new transactions gated.
+// Caller holds t.mu.
+func (t *Tenant) waitGateLocked() {
+	for t.gate {
+		t.cond.Wait()
+	}
+}
+
+// txnStarted registers an in-flight transaction, honoring the gate.
+func (t *Tenant) txnStarted() {
+	t.mu.Lock()
+	t.waitGateLocked()
+	t.activeTxns++
+	t.mu.Unlock()
+}
+
+// txnEnded unregisters an in-flight transaction.
+func (t *Tenant) txnEnded() {
+	t.mu.Lock()
+	t.activeTxns--
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// firstOpStamped records that a transaction's first operation was stamped
+// (its SSB now constrains the commit bound until it resolves). Caller holds
+// t.mu (the critical region).
+func (t *Tenant) firstOpStampedLocked(b *SSB) {
+	t.activeFirst[b] = struct{}{}
+}
+
+// resolveSSBLocked removes an SSB from the active set (commit, abort, or
+// read-only discard) and, when committing during migration, links it to the
+// SSL. Caller holds t.mu.
+func (t *Tenant) resolveSSBLocked(b *SSB, link bool) {
+	delete(t.activeFirst, b)
+	if link && t.migrating {
+		t.ssl = append(t.ssl, b)
+		t.capturedSSBs++
+		t.capturedOps += b.OpCount()
+	}
+	t.cond.Broadcast()
+}
+
+// commitBound returns the exclusive upper bound on ETS values whose commits
+// may be propagated: no unresolved transaction with a stamped first
+// operation may have STS ≤ a propagated commit's ETS (LSIR rule 1-b — the
+// slave must execute that first read before those commits). Caller holds
+// t.mu.
+func (t *Tenant) commitBoundLocked() uint64 {
+	bound := ^uint64(0)
+	for b := range t.activeFirst {
+		if b.STS < bound {
+			bound = b.STS
+		}
+	}
+	return bound
+}
+
+// startCapture begins linking committed syncsets to the SSL.
+func (t *Tenant) startCapture(all bool) {
+	t.mu.Lock()
+	t.migrating = true
+	t.captureAll = all
+	t.ssl = nil
+	t.capturedOps = 0
+	t.capturedSSBs = 0
+	t.mu.Unlock()
+}
+
+// stopCapture stops linking and clears the SSL.
+func (t *Tenant) stopCapture() {
+	t.mu.Lock()
+	t.migrating = false
+	t.captureAll = false
+	t.ssl = nil
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// setGate opens or closes the new-transaction gate.
+func (t *Tenant) setGate(closed bool) {
+	t.mu.Lock()
+	t.gate = closed
+	t.cond.Broadcast()
+	t.mu.Unlock()
+}
+
+// drainActive waits until no transactions are in flight. Call with the gate
+// closed, or it may never terminate under load.
+func (t *Tenant) drainActive() {
+	t.mu.Lock()
+	for t.activeTxns > 0 {
+		t.cond.Wait()
+	}
+	t.mu.Unlock()
+}
+
+// switchOver repoints the tenant at the destination node and bumps the
+// routing generation so proxy sessions reconnect.
+func (t *Tenant) switchOver(dest Backend) {
+	t.mu.Lock()
+	t.node = dest
+	t.gen++
+	t.mu.Unlock()
+}
+
+// SSLLen reports the current syncset-list length (monitoring).
+func (t *Tenant) SSLLen() int { return t.sslLen() }
+
+// sslLen reports the current SSL length (monitoring).
+func (t *Tenant) sslLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ssl)
+}

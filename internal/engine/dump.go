@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madeus/internal/sqlmini"
+	"madeus/internal/storage"
+)
+
+// Dump serializes the session's database as a SQL script at one consistent
+// SI snapshot (the paper's Step-1 "dump transaction": snapshot creation runs
+// concurrently with customer transactions and never blocks them). The
+// script contains CREATE TABLE statements followed by batched INSERTs, in
+// deterministic (table, primary key) order, so two consistent states always
+// dump to identical scripts.
+// When the session has an open transaction block, the dump uses that
+// transaction's snapshot (pin it first with the SNAPSHOT command);
+// otherwise it runs in its own read-only transaction.
+func (s *Session) Dump() ([]string, error) {
+	txn := s.txn
+	if s.inTxn && txn != nil && !txn.Done() {
+		// Use the block's snapshot; the client owns the commit.
+	} else {
+		txn = s.db.mgr.Begin()
+		defer txn.Commit()
+	}
+
+	var script []string
+	for _, name := range s.db.Tables() {
+		tb, ok := s.db.table(name)
+		if !ok {
+			continue
+		}
+		schema := tb.Schema
+		script = append(script, createTableSQL(schema))
+		idxs := tb.Indexes()
+		idxNames := make([]string, 0, len(idxs))
+		for n := range idxs {
+			idxNames = append(idxNames, n)
+		}
+		sort.Strings(idxNames)
+		for _, n := range idxNames {
+			script = append(script, fmt.Sprintf("CREATE INDEX %s ON %s (%s)", n, name, idxs[n]))
+		}
+
+		cols := make([]string, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = c.Name
+		}
+		header := fmt.Sprintf("INSERT INTO %s (%s) VALUES ", name, strings.Join(cols, ", "))
+
+		var batch []string
+		flush := func() {
+			if len(batch) > 0 {
+				script = append(script, header+strings.Join(batch, ", "))
+				batch = batch[:0]
+			}
+		}
+		tb.Scan(txn, func(r storage.Row) bool {
+			vals := make([]string, len(r))
+			for i, v := range r {
+				vals[i] = v.String()
+			}
+			batch = append(batch, "("+strings.Join(vals, ", ")+")")
+			if len(batch) >= s.eng.opts.DumpBatch {
+				flush()
+			}
+			return true
+		})
+		flush()
+	}
+	return script, nil
+}
+
+func createTableSQL(schema *storage.Schema) string {
+	var sb strings.Builder
+	sb.WriteString("CREATE TABLE ")
+	sb.WriteString(schema.Name)
+	sb.WriteString(" (")
+	for i, c := range schema.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteString(" ")
+		sb.WriteString(c.Type.String())
+		if c.PrimaryKey {
+			sb.WriteString(" PRIMARY KEY")
+		}
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// Restore executes a dump script against the session's database, one
+// autocommitted statement at a time. Each INSERT batch pays a WAL commit,
+// which is why creating a slave takes longer than dumping the master
+// (Sec 5.5): restores go through the full write path.
+func (s *Session) Restore(script []string) error {
+	if s.inTxn {
+		return fmt.Errorf("engine: RESTORE inside a transaction block")
+	}
+	for _, stmt := range script {
+		if _, err := s.Exec(stmt); err != nil {
+			return fmt.Errorf("engine: restore: %w", err)
+		}
+	}
+	return nil
+}
+
+// StateEqual reports whether two databases hold identical visible states,
+// by comparing their canonical dumps. Used by the migration consistency
+// tests (Theorem 2).
+func StateEqual(a, b *Session) (bool, string, error) {
+	da, err := a.Dump()
+	if err != nil {
+		return false, "", err
+	}
+	db, err := b.Dump()
+	if err != nil {
+		return false, "", err
+	}
+	if len(da) != len(db) {
+		return false, fmt.Sprintf("dump lengths differ: %d vs %d", len(da), len(db)), nil
+	}
+	for i := range da {
+		if da[i] != db[i] {
+			return false, fmt.Sprintf("line %d differs:\n  a: %s\n  b: %s", i, da[i], db[i]), nil
+		}
+	}
+	return true, "", nil
+}
+
+// RowCount returns the number of visible rows in the named table (testing
+// and monitoring helper).
+func (s *Session) RowCount(table string) (int, error) {
+	res, err := s.Exec("SELECT COUNT(*) FROM " + table)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Kind != sqlmini.KindInt {
+		return 0, fmt.Errorf("engine: unexpected COUNT result")
+	}
+	return int(res.Rows[0][0].Int), nil
+}

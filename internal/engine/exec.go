@@ -1,0 +1,450 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"madeus/internal/mvcc"
+	"madeus/internal/sqlmini"
+	"madeus/internal/storage"
+	"madeus/internal/wal"
+)
+
+// execStatement runs one non-transaction-control statement inside s.txn.
+// It acquires an execution slot (the CPU model) for the duration of the
+// statement's in-memory work.
+func (s *Session) execStatement(st sqlmini.Statement, sql string) (*Result, error) {
+	release := s.eng.acquireSlot()
+	defer release()
+	switch st := st.(type) {
+	case *sqlmini.Select:
+		return s.execSelect(st)
+	case *sqlmini.Insert:
+		return s.execInsert(st, sql)
+	case *sqlmini.Update:
+		return s.execUpdate(st, sql)
+	case *sqlmini.Delete:
+		return s.execDelete(st, sql)
+	case *sqlmini.CreateTable:
+		return s.execCreateTable(st)
+	case *sqlmini.DropTable:
+		return s.execDropTable(st)
+	case *sqlmini.CreateIndex:
+		return s.execCreateIndex(st)
+	case *sqlmini.DropIndex:
+		return s.execDropIndex(st)
+	}
+	return nil, fmt.Errorf("engine: unsupported statement %T", st)
+}
+
+func (s *Session) execCreateTable(st *sqlmini.CreateTable) (*Result, error) {
+	cols := make([]storage.Column, len(st.Columns))
+	for i, c := range st.Columns {
+		cols[i] = storage.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
+	}
+	schema, err := storage.NewSchema(st.Table, cols)
+	if err != nil {
+		return nil, err
+	}
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if _, ok := s.db.tables[st.Table]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", st.Table)
+	}
+	s.db.tables[st.Table] = mvcc.NewTable(schema, s.db.mgr)
+	return &Result{Tag: "CREATE TABLE"}, nil
+}
+
+func (s *Session) execDropTable(st *sqlmini.DropTable) (*Result, error) {
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if _, ok := s.db.tables[st.Table]; !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	delete(s.db.tables, st.Table)
+	return &Result{Tag: "DROP TABLE"}, nil
+}
+
+func (s *Session) execCreateIndex(st *sqlmini.CreateIndex) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	if err := tb.CreateIndex(st.Name, st.Column); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "CREATE INDEX"}, nil
+}
+
+func (s *Session) execDropIndex(st *sqlmini.DropIndex) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	if err := tb.DropIndex(st.Name); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "DROP INDEX"}, nil
+}
+
+func (s *Session) execInsert(st *sqlmini.Insert, sql string) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	schema := tb.Schema
+	colIdx := make([]int, len(st.Columns))
+	for i, name := range st.Columns {
+		ci := schema.ColumnIndex(name)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, name)
+		}
+		colIdx[i] = ci
+	}
+	n := 0
+	for _, exprRow := range st.Rows {
+		row := make(storage.Row, len(schema.Columns))
+		for i := range row {
+			row[i] = sqlmini.Null()
+		}
+		for i, e := range exprRow {
+			v, err := evalExpr(e, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			row[colIdx[i]] = v
+		}
+		if err := tb.Insert(s.txn, row); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecInsert, DB: s.db.Name, Table: st.Table, Data: sql})
+	return &Result{Affected: n, Tag: fmt.Sprintf("INSERT %d", n)}, nil
+}
+
+func (s *Session) execUpdate(st *sqlmini.Update, sql string) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	schema := tb.Schema
+	for _, a := range st.Set {
+		if schema.ColumnIndex(a.Column) < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, a.Column)
+		}
+	}
+	matches, err := s.matchRows(tb, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, old := range matches {
+		newRow := old.Clone()
+		for _, a := range st.Set {
+			v, err := evalExpr(a.Value, schema, old)
+			if err != nil {
+				return nil, err
+			}
+			newRow[schema.ColumnIndex(a.Column)] = v
+		}
+		ok, err := tb.Update(s.txn, schema.PK(old), newRow)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	if n > 0 {
+		s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecUpdate, DB: s.db.Name, Table: st.Table, Data: sql})
+	}
+	return &Result{Affected: n, Tag: fmt.Sprintf("UPDATE %d", n)}, nil
+}
+
+func (s *Session) execDelete(st *sqlmini.Delete, sql string) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	matches, err := s.matchRows(tb, st.Where)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, old := range matches {
+		ok, err := tb.Delete(s.txn, tb.Schema.PK(old))
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			n++
+		}
+	}
+	if n > 0 {
+		s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecDelete, DB: s.db.Name, Table: st.Table, Data: sql})
+	}
+	return &Result{Affected: n, Tag: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// matchRows returns the rows visible to s.txn satisfying where: via the
+// primary-key map when where pins the key with an equality, via a secondary
+// index when one covers an equality conjunct, and by a full scan otherwise.
+func (s *Session) matchRows(tb *mvcc.Table, where sqlmini.Expr) ([]storage.Row, error) {
+	schema := tb.Schema
+	if pk, ok := pkEquality(schema, where); ok {
+		row := tb.Get(s.txn, pk)
+		if row == nil {
+			return nil, nil
+		}
+		match, err := evalFilter(where, schema, row)
+		if err != nil {
+			return nil, err
+		}
+		if !match {
+			return nil, nil
+		}
+		return []storage.Row{row}, nil
+	}
+	if rows, ok, err := s.indexScan(tb, where); ok || err != nil {
+		return rows, err
+	}
+	var out []storage.Row
+	var scanErr error
+	tb.Scan(s.txn, func(r storage.Row) bool {
+		if where != nil {
+			match, err := evalFilter(where, schema, r)
+			if err != nil {
+				scanErr = err
+				return false
+			}
+			if !match {
+				return true
+			}
+		}
+		out = append(out, r)
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// pkEquality detects a top-level `pk = literal` conjunct in where, enabling
+// the point-lookup fast path that makes TPC-W style workloads cheap.
+func pkEquality(schema *storage.Schema, where sqlmini.Expr) (sqlmini.Value, bool) {
+	b, ok := where.(*sqlmini.Binary)
+	if !ok {
+		return sqlmini.Value{}, false
+	}
+	switch b.Op {
+	case sqlmini.OpAnd:
+		if v, ok := pkEquality(schema, b.L); ok {
+			return v, true
+		}
+		return pkEquality(schema, b.R)
+	case sqlmini.OpEq:
+		pkName := schema.Columns[schema.PKIndex()].Name
+		if col, ok := b.L.(*sqlmini.ColumnRef); ok && col.Name == pkName {
+			if lit, ok := b.R.(*sqlmini.Literal); ok {
+				return coercePK(schema, lit.Val), true
+			}
+		}
+		if col, ok := b.R.(*sqlmini.ColumnRef); ok && col.Name == pkName {
+			if lit, ok := b.L.(*sqlmini.Literal); ok {
+				return coercePK(schema, lit.Val), true
+			}
+		}
+	}
+	return sqlmini.Value{}, false
+}
+
+// indexScan serves where via a secondary index when a top-level equality
+// conjunct names an indexed column. Candidates from the index are a
+// superset, so the full predicate re-runs on every fetched row; results are
+// sorted by primary key for deterministic output.
+func (s *Session) indexScan(tb *mvcc.Table, where sqlmini.Expr) ([]storage.Row, bool, error) {
+	schema := tb.Schema
+	col, val, ok := indexableEquality(schema, where)
+	if !ok {
+		return nil, false, nil
+	}
+	pks, ok := tb.IndexLookup(col, val)
+	if !ok {
+		return nil, false, nil
+	}
+	sort.Slice(pks, func(i, j int) bool {
+		c, err := pks[i].Compare(pks[j])
+		return err == nil && c < 0
+	})
+	var out []storage.Row
+	for _, pk := range pks {
+		row := tb.Get(s.txn, pk)
+		if row == nil {
+			continue
+		}
+		match, err := evalFilter(where, schema, row)
+		if err != nil {
+			return nil, true, err
+		}
+		if match {
+			out = append(out, row)
+		}
+	}
+	return out, true, nil
+}
+
+// indexableEquality finds a top-level `col = literal` conjunct over a
+// non-PK column (PK equalities use the faster point lookup).
+func indexableEquality(schema *storage.Schema, where sqlmini.Expr) (string, sqlmini.Value, bool) {
+	b, ok := where.(*sqlmini.Binary)
+	if !ok {
+		return "", sqlmini.Value{}, false
+	}
+	switch b.Op {
+	case sqlmini.OpAnd:
+		if c, v, ok := indexableEquality(schema, b.L); ok {
+			return c, v, true
+		}
+		return indexableEquality(schema, b.R)
+	case sqlmini.OpEq:
+		if col, ok := b.L.(*sqlmini.ColumnRef); ok {
+			if lit, ok := b.R.(*sqlmini.Literal); ok {
+				return col.Name, coerceCol(schema, col.Name, lit.Val), true
+			}
+		}
+		if col, ok := b.R.(*sqlmini.ColumnRef); ok {
+			if lit, ok := b.L.(*sqlmini.Literal); ok {
+				return col.Name, coerceCol(schema, col.Name, lit.Val), true
+			}
+		}
+	}
+	return "", sqlmini.Value{}, false
+}
+
+func coerceCol(schema *storage.Schema, col string, v sqlmini.Value) sqlmini.Value {
+	ci := schema.ColumnIndex(col)
+	if ci >= 0 && schema.Columns[ci].Type == sqlmini.KindFloat && v.Kind == sqlmini.KindInt {
+		return sqlmini.NewFloat(float64(v.Int))
+	}
+	return v
+}
+
+func coercePK(schema *storage.Schema, v sqlmini.Value) sqlmini.Value {
+	if schema.Columns[schema.PKIndex()].Type == sqlmini.KindFloat && v.Kind == sqlmini.KindInt {
+		return sqlmini.NewFloat(float64(v.Int))
+	}
+	return v
+}
+
+func (s *Session) execSelect(st *sqlmini.Select) (*Result, error) {
+	tb, ok := s.db.table(st.Table)
+	if !ok {
+		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
+	}
+	schema := tb.Schema
+	matches, err := s.matchRows(tb, st.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	// Aggregate queries (single aggregate item).
+	if len(st.Items) == 1 && st.Items[0].Aggregate != "" {
+		return aggregate(st.Items[0], schema, matches)
+	}
+	for _, it := range st.Items {
+		if it.Aggregate != "" {
+			return nil, fmt.Errorf("engine: aggregates cannot be mixed with columns")
+		}
+	}
+
+	// ORDER BY before projection so any column is sortable.
+	if st.OrderBy != "" {
+		ci := schema.ColumnIndex(st.OrderBy)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, st.OrderBy)
+		}
+		sort.SliceStable(matches, func(i, j int) bool {
+			c, err := matches[i][ci].Compare(matches[j][ci])
+			if err != nil {
+				return false
+			}
+			if st.OrderDesc {
+				return c > 0
+			}
+			return c < 0
+		})
+	}
+	if st.Limit >= 0 && int64(len(matches)) > st.Limit {
+		matches = matches[:st.Limit]
+	}
+
+	// Projection.
+	var cols []string
+	var proj []int
+	for _, it := range st.Items {
+		if it.Star {
+			for i, c := range schema.Columns {
+				cols = append(cols, c.Name)
+				proj = append(proj, i)
+			}
+			continue
+		}
+		ci := schema.ColumnIndex(it.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, it.Column)
+		}
+		cols = append(cols, it.Column)
+		proj = append(proj, ci)
+	}
+	res := &Result{Columns: cols, Tag: fmt.Sprintf("SELECT %d", len(matches))}
+	for _, r := range matches {
+		out := make([]sqlmini.Value, len(proj))
+		for i, ci := range proj {
+			out[i] = r[ci]
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+func aggregate(item sqlmini.SelectItem, schema *storage.Schema, rows []storage.Row) (*Result, error) {
+	switch item.Aggregate {
+	case "COUNT":
+		return &Result{
+			Columns: []string{"count"},
+			Rows:    [][]sqlmini.Value{{sqlmini.NewInt(int64(len(rows)))}},
+			Tag:     "SELECT 1",
+		}, nil
+	case "SUM":
+		ci := schema.ColumnIndex(item.AggArg)
+		if ci < 0 {
+			return nil, fmt.Errorf("engine: no column %q for SUM", item.AggArg)
+		}
+		var sumI int64
+		var sumF float64
+		isFloat := schema.Columns[ci].Type == sqlmini.KindFloat
+		for _, r := range rows {
+			v := r[ci]
+			if v.IsNull() {
+				continue
+			}
+			if isFloat {
+				sumF += v.Float
+			} else {
+				sumI += v.Int
+			}
+		}
+		val := sqlmini.NewInt(sumI)
+		if isFloat {
+			val = sqlmini.NewFloat(sumF)
+		}
+		return &Result{
+			Columns: []string{"sum"},
+			Rows:    [][]sqlmini.Value{{val}},
+			Tag:     "SELECT 1",
+		}, nil
+	}
+	return nil, fmt.Errorf("engine: unsupported aggregate %q", item.Aggregate)
+}

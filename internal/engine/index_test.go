@@ -1,0 +1,170 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	s := newShopSession(t)
+	mustExec(t, s, "INSERT INTO items (id, title, cost, stock) VALUES "+
+		"(1, 'go', 10, 1), (2, 'sql', 20, 2), (3, 'go', 30, 3)")
+	mustExec(t, s, "CREATE INDEX items_title ON items (title)")
+
+	res := mustExec(t, s, "SELECT id FROM items WHERE title = 'go'")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int != 1 || res.Rows[1][0].Int != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Residual predicates still apply.
+	res = mustExec(t, s, "SELECT id FROM items WHERE title = 'go' AND stock > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int != 3 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+	// Misses return empty.
+	res = mustExec(t, s, "SELECT id FROM items WHERE title = 'rust'")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}
+
+func TestIndexTracksWrites(t *testing.T) {
+	s := newShopSession(t)
+	mustExec(t, s, "CREATE INDEX items_title ON items (title)")
+	// Insert AFTER index creation.
+	mustExec(t, s, "INSERT INTO items (id, title, cost, stock) VALUES (1, 'a', 1, 1)")
+	res := mustExec(t, s, "SELECT id FROM items WHERE title = 'a'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("insert not indexed: %v", res.Rows)
+	}
+	// Update moves the row to a new value.
+	mustExec(t, s, "UPDATE items SET title = 'b' WHERE id = 1")
+	res = mustExec(t, s, "SELECT id FROM items WHERE title = 'b'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("update not indexed: %v", res.Rows)
+	}
+	// The stale old-value entry must not produce the row (re-check).
+	res = mustExec(t, s, "SELECT id FROM items WHERE title = 'a'")
+	if len(res.Rows) != 0 {
+		t.Fatalf("stale index entry leaked: %v", res.Rows)
+	}
+	// Delete removes it from results under the index path.
+	mustExec(t, s, "DELETE FROM items WHERE id = 1")
+	res = mustExec(t, s, "SELECT id FROM items WHERE title = 'b'")
+	if len(res.Rows) != 0 {
+		t.Fatalf("deleted row via index: %v", res.Rows)
+	}
+}
+
+func TestIndexRespectsSnapshots(t *testing.T) {
+	e := newTestEngine(t)
+	s1, _ := e.NewSession("shop")
+	s2, _ := e.NewSession("shop")
+	mustExec(t, s1, "CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+	mustExec(t, s1, "CREATE INDEX t_tag ON t (tag)")
+	mustExec(t, s1, "INSERT INTO t (id, tag) VALUES (1, 'old')")
+
+	mustExec(t, s2, "BEGIN")
+	res := mustExec(t, s2, "SELECT id FROM t WHERE tag = 'old'") // snapshot
+	if len(res.Rows) != 1 {
+		t.Fatal("setup")
+	}
+	mustExec(t, s1, "UPDATE t SET tag = 'new' WHERE id = 1")
+	// s2's snapshot still finds the OLD value via the index...
+	res = mustExec(t, s2, "SELECT id FROM t WHERE tag = 'old'")
+	if len(res.Rows) != 1 {
+		t.Errorf("old snapshot lost indexed row: %v", res.Rows)
+	}
+	// ...and must not see the new one.
+	res = mustExec(t, s2, "SELECT id FROM t WHERE tag = 'new'")
+	if len(res.Rows) != 0 {
+		t.Errorf("snapshot leak via index: %v", res.Rows)
+	}
+	mustExec(t, s2, "COMMIT")
+}
+
+func TestDropIndexFallsBackToScan(t *testing.T) {
+	s := newShopSession(t)
+	mustExec(t, s, "INSERT INTO items (id, title, cost, stock) VALUES (1, 'a', 1, 1)")
+	mustExec(t, s, "CREATE INDEX ix ON items (title)")
+	mustExec(t, s, "DROP INDEX ix ON items")
+	res := mustExec(t, s, "SELECT id FROM items WHERE title = 'a'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("scan fallback failed: %v", res.Rows)
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	s := newShopSession(t)
+	for _, sql := range []string{
+		"CREATE INDEX ix ON missing (a)",
+		"CREATE INDEX ix ON items (nope)",
+		"DROP INDEX ix ON items",
+		"DROP INDEX ix ON missing",
+	} {
+		if _, err := s.Exec(sql); err == nil {
+			t.Errorf("%s: want error", sql)
+		}
+	}
+	mustExec(t, s, "CREATE INDEX ix ON items (title)")
+	if _, err := s.Exec("CREATE INDEX ix ON items (title)"); err == nil {
+		t.Error("duplicate index: want error")
+	}
+}
+
+func TestDumpIncludesIndexes(t *testing.T) {
+	e := newTestEngine(t)
+	src, _ := e.NewSession("shop")
+	mustExec(t, src, "CREATE TABLE t (id INT PRIMARY KEY, tag TEXT)")
+	mustExec(t, src, "CREATE INDEX t_tag ON t (tag)")
+	mustExec(t, src, "INSERT INTO t (id, tag) VALUES (1, 'x')")
+
+	script, err := src.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(script, "\n")
+	if !strings.Contains(joined, "CREATE INDEX t_tag ON t (tag)") {
+		t.Fatalf("dump missing index DDL:\n%s", joined)
+	}
+	// Restore rebuilds the index: the restored database answers indexed
+	// queries and StateEqual (which includes index DDL) holds.
+	if err := e.CreateDatabase("copy"); err != nil {
+		t.Fatal(err)
+	}
+	dst, _ := e.NewSession("copy")
+	if err := dst.Restore(script); err != nil {
+		t.Fatal(err)
+	}
+	eq, diff, err := StateEqual(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatalf("restore differs: %s", diff)
+	}
+	res := mustExec(t, dst, "SELECT id FROM t WHERE tag = 'x'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("restored index unusable: %v", res.Rows)
+	}
+}
+
+func TestVacuumSweepsStaleIndexEntries(t *testing.T) {
+	s := newShopSession(t)
+	mustExec(t, s, "CREATE INDEX items_title ON items (title)")
+	mustExec(t, s, "INSERT INTO items (id, title, cost, stock) VALUES (1, 'a', 1, 1)")
+	for _, title := range []string{"b", "c", "d"} {
+		mustExec(t, s, "UPDATE items SET title = '"+title+"' WHERE id = 1")
+	}
+	mustExec(t, s, "VACUUM")
+	// Old values are swept; current remains reachable.
+	for _, title := range []string{"a", "b", "c"} {
+		res := mustExec(t, s, "SELECT id FROM items WHERE title = '"+title+"'")
+		if len(res.Rows) != 0 {
+			t.Errorf("title %q still matches after vacuum", title)
+		}
+	}
+	res := mustExec(t, s, "SELECT id FROM items WHERE title = 'd'")
+	if len(res.Rows) != 1 {
+		t.Errorf("current value lost: %v", res.Rows)
+	}
+}

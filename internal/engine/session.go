@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"madeus/internal/mvcc"
+	"madeus/internal/sqlmini"
+	"madeus/internal/wal"
+)
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns and Rows are set for SELECT (and DUMP, whose single
+	// column carries the dump script).
+	Columns []string
+	Rows    [][]sqlmini.Value
+	// Affected is the row count for INSERT/UPDATE/DELETE.
+	Affected int
+	// Tag is the command tag, e.g. "SELECT 3", "BEGIN", "COMMIT".
+	Tag string
+}
+
+// ErrTxnAborted is returned for statements issued inside a transaction that
+// already failed; the client must ROLLBACK (or COMMIT, which rolls back).
+var ErrTxnAborted = errors.New("engine: current transaction is aborted, commands ignored until end of transaction block")
+
+// Session is one client connection's execution context. A session is used
+// by one goroutine at a time.
+type Session struct {
+	eng *Engine
+	db  *Database
+
+	txn     *mvcc.Txn // nil until the first statement after BEGIN
+	inTxn   bool      // explicit BEGIN seen
+	txnFail bool      // a statement inside the txn errored
+}
+
+// NewSession opens a session on the named tenant database.
+func (e *Engine) NewSession(dbname string) (*Session, error) {
+	db, ok := e.Database(dbname)
+	if !ok {
+		return nil, fmt.Errorf("engine: database %q does not exist", dbname)
+	}
+	return &Session{eng: e, db: db}, nil
+}
+
+// DatabaseName reports the tenant this session is bound to.
+func (s *Session) DatabaseName() string { return s.db.Name }
+
+// InTxn reports whether an explicit transaction block is open.
+func (s *Session) InTxn() bool { return s.inTxn }
+
+// Close aborts any open transaction.
+func (s *Session) Close() {
+	if s.txn != nil && !s.txn.Done() {
+		s.txn.Abort()
+	}
+	s.txn = nil
+	s.inTxn = false
+}
+
+// Exec parses and executes one statement. Madeus-relevant semantics:
+//
+//   - The transaction's MVCC snapshot is taken at the first statement after
+//     BEGIN, not at BEGIN itself (Sec 3.1's snapshot creation rule).
+//   - COMMIT of an update transaction waits for a WAL fsync (group
+//     committed); read-only commits don't touch the WAL.
+//   - A failed statement poisons the transaction block; COMMIT then acts as
+//     ROLLBACK, as in PostgreSQL.
+func (s *Session) Exec(sql string) (*Result, error) {
+	if meta, handled, err := s.execMeta(sql); handled {
+		return meta, err
+	}
+	st, err := sqlmini.Parse(sql)
+	if err != nil {
+		s.poison()
+		return nil, err
+	}
+	switch st.(type) {
+	case *sqlmini.Begin:
+		return s.execBegin()
+	case *sqlmini.Commit:
+		return s.execCommit()
+	case *sqlmini.Rollback:
+		return s.execRollback()
+	}
+	if s.inTxn && s.txnFail {
+		return nil, ErrTxnAborted
+	}
+
+	if s.inTxn {
+		s.ensureTxn()
+		res, err := s.execStatement(st, sql)
+		if err != nil {
+			s.poison()
+		}
+		return res, err
+	}
+
+	// Autocommit: the statement runs in its own transaction.
+	s.ensureTxn()
+	res, err := s.execStatement(st, sql)
+	if err != nil {
+		s.txn.Abort()
+		s.txn = nil
+		return nil, err
+	}
+	if _, err := s.commitTxn(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ensureTxn lazily begins the MVCC transaction (snapshot at first
+// operation).
+func (s *Session) ensureTxn() {
+	if s.txn == nil || s.txn.Done() {
+		s.txn = s.db.mgr.Begin()
+	}
+}
+
+// poison marks an explicit transaction failed and rolls back its effects.
+func (s *Session) poison() {
+	if !s.inTxn {
+		return
+	}
+	s.txnFail = true
+	if s.txn != nil && !s.txn.Done() {
+		s.txn.Abort()
+	}
+}
+
+func (s *Session) execBegin() (*Result, error) {
+	if s.inTxn {
+		return nil, fmt.Errorf("engine: BEGIN inside a transaction block")
+	}
+	s.inTxn = true
+	s.txnFail = false
+	s.txn = nil // snapshot taken lazily at first operation
+	return &Result{Tag: "BEGIN"}, nil
+}
+
+func (s *Session) execCommit() (*Result, error) {
+	if !s.inTxn {
+		return nil, fmt.Errorf("engine: COMMIT outside a transaction block")
+	}
+	defer func() { s.inTxn = false; s.txn = nil; s.txnFail = false }()
+	if s.txnFail {
+		// PostgreSQL: COMMIT of a failed transaction rolls back.
+		return &Result{Tag: "ROLLBACK"}, nil
+	}
+	if s.txn == nil {
+		// Empty transaction block.
+		return &Result{Tag: "COMMIT"}, nil
+	}
+	if _, err := s.commitTxn(); err != nil {
+		return nil, err
+	}
+	return &Result{Tag: "COMMIT"}, nil
+}
+
+// commitTxn commits s.txn: update transactions pay a WAL fsync first
+// (group-committable), then become visible.
+func (s *Session) commitTxn() (mvcc.CSN, error) {
+	txn := s.txn
+	s.txn = nil
+	if txn == nil || txn.Done() {
+		return 0, nil
+	}
+	if txn.IsUpdate() {
+		s.eng.log.Append(wal.Record{TxnID: uint64(txn.ID), Kind: wal.RecCommit, DB: s.db.Name})
+		if err := s.eng.log.Commit(); err != nil {
+			txn.Abort()
+			return 0, err
+		}
+	}
+	return txn.Commit()
+}
+
+func (s *Session) execRollback() (*Result, error) {
+	if !s.inTxn {
+		return nil, fmt.Errorf("engine: ROLLBACK outside a transaction block")
+	}
+	if s.txn != nil && !s.txn.Done() {
+		s.txn.Abort()
+	}
+	s.inTxn = false
+	s.txn = nil
+	s.txnFail = false
+	return &Result{Tag: "ROLLBACK"}, nil
+}
+
+// execMeta handles the utility commands that are not part of the sqlmini
+// grammar: CREATE DATABASE, DROP DATABASE, and DUMP.
+func (s *Session) execMeta(sql string) (*Result, bool, error) {
+	fields := strings.Fields(sql)
+	if len(fields) == 0 {
+		return nil, false, nil
+	}
+	head := strings.ToUpper(fields[0])
+	var second string
+	if len(fields) > 1 {
+		second = strings.ToUpper(strings.TrimSuffix(fields[1], ";"))
+	}
+	switch {
+	case head == "CREATE" && second == "DATABASE":
+		if len(fields) != 3 {
+			return nil, true, fmt.Errorf("engine: usage: CREATE DATABASE name")
+		}
+		name := strings.TrimSuffix(fields[2], ";")
+		if err := s.eng.CreateDatabase(name); err != nil {
+			return nil, true, err
+		}
+		return &Result{Tag: "CREATE DATABASE"}, true, nil
+	case head == "DROP" && second == "DATABASE":
+		if len(fields) != 3 {
+			return nil, true, fmt.Errorf("engine: usage: DROP DATABASE name")
+		}
+		name := strings.TrimSuffix(fields[2], ";")
+		if err := s.eng.DropDatabase(name); err != nil {
+			return nil, true, err
+		}
+		return &Result{Tag: "DROP DATABASE"}, true, nil
+	case head == "VACUUM" && len(fields) == 1:
+		removed := 0
+		horizon := s.db.mgr.Horizon()
+		for _, name := range s.db.Tables() {
+			if tb, ok := s.db.table(name); ok {
+				removed += tb.Vacuum(horizon)
+			}
+		}
+		return &Result{Tag: fmt.Sprintf("VACUUM %d", removed)}, true, nil
+	case head == "SNAPSHOT" && len(fields) == 1:
+		// Pin the transaction's MVCC snapshot now. Used by the Madeus
+		// manager inside its critical region (Algorithm 3, Step 1):
+		// the dump transaction's snapshot must correspond exactly to
+		// the recorded MTS.
+		if !s.inTxn {
+			return nil, true, fmt.Errorf("engine: SNAPSHOT outside a transaction block")
+		}
+		if s.txnFail {
+			return nil, true, ErrTxnAborted
+		}
+		s.ensureTxn()
+		return &Result{Tag: "SNAPSHOT"}, true, nil
+	case head == "DUMP" && len(fields) == 1:
+		script, err := s.Dump()
+		if err != nil {
+			return nil, true, err
+		}
+		res := &Result{Columns: []string{"statement"}, Tag: fmt.Sprintf("DUMP %d", len(script))}
+		for _, line := range script {
+			res.Rows = append(res.Rows, []sqlmini.Value{sqlmini.NewText(line)})
+		}
+		return res, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestVacuumMetaCommand(t *testing.T) {
+	s := newShopSession(t)
+	mustExec(t, s, "INSERT INTO items (id, title, cost, stock) VALUES (1, 'a', 1, 0)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, s, "UPDATE items SET stock = stock + 1 WHERE id = 1")
+	}
+	res := mustExec(t, s, "VACUUM")
+	if !strings.HasPrefix(res.Tag, "VACUUM ") {
+		t.Fatalf("Tag = %q", res.Tag)
+	}
+	if res.Tag == "VACUUM 0" {
+		t.Error("vacuum removed nothing after 5 updates")
+	}
+	// State intact.
+	got := mustExec(t, s, "SELECT stock FROM items WHERE id = 1")
+	if got.Rows[0][0].Int != 5 {
+		t.Errorf("stock = %v", got.Rows[0][0])
+	}
+	// Second vacuum is a no-op.
+	res = mustExec(t, s, "VACUUM")
+	if res.Tag != "VACUUM 0" {
+		t.Errorf("second vacuum: %q", res.Tag)
+	}
+}
+
+func TestVacuumDoesNotDisturbOpenTransaction(t *testing.T) {
+	e := newTestEngine(t)
+	s1, _ := e.NewSession("shop")
+	s2, _ := e.NewSession("shop")
+	mustExec(t, s1, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s1, "INSERT INTO t (id, v) VALUES (1, 10)")
+
+	mustExec(t, s2, "BEGIN")
+	mustExec(t, s2, "SELECT v FROM t WHERE id = 1") // pins snapshot
+	mustExec(t, s1, "UPDATE t SET v = 20 WHERE id = 1")
+	mustExec(t, s1, "VACUUM") // must respect s2's horizon
+	res := mustExec(t, s2, "SELECT v FROM t WHERE id = 1")
+	if res.Rows[0][0].Int != 10 {
+		t.Errorf("open txn sees %v after vacuum, want 10", res.Rows[0][0])
+	}
+	mustExec(t, s2, "COMMIT")
+}

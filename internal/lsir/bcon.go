@@ -1,0 +1,60 @@
+package lsir
+
+import "sort"
+
+// BConSchedule builds the slave schedule of the B-CON baseline (the rule of
+// Daudjee and Salem [24], Sec 5.3.1): first reads and writes propagate
+// concurrently exactly as Madeus does, but commits are emitted strictly one
+// at a time in master commit (ETS) order — no commit ever shares a batch.
+//
+// B-CON's rule is strictly stronger than the LSIR: every schedule it
+// produces satisfies the LSIR (the property-based tests verify this), which
+// is why B-CON is correct but slower — it gives up the group-commit
+// opportunity the LSIR's relaxation creates.
+func BConSchedule(sets []Syncset) Schedule {
+	bySTS := make(map[int][]Syncset)
+	var stsList []int
+	for _, ss := range sets {
+		if _, ok := bySTS[ss.STS]; !ok {
+			stsList = append(stsList, ss.STS)
+		}
+		bySTS[ss.STS] = append(bySTS[ss.STS], ss)
+	}
+	sort.Ints(stsList)
+
+	var out []Op
+	var pending []Syncset
+	flushSerially := func(bound int) {
+		sort.Slice(pending, func(i, j int) bool { return pending[i].ETS < pending[j].ETS })
+		rest := pending[:0]
+		for _, ss := range pending {
+			if ss.ETS < bound {
+				// One commit at a time, in exact master commit
+				// order: a batch of size one, always.
+				out = append(out, Op{Txn: ss.Txn, Kind: OpCommit})
+			} else {
+				rest = append(rest, ss)
+			}
+		}
+		pending = rest
+	}
+	for gi, sts := range stsList {
+		group := bySTS[sts]
+		for _, ss := range group {
+			if fr := ss.FirstRead(); fr != nil {
+				out = append(out, *fr)
+			}
+		}
+		for _, ss := range group {
+			out = append(out, ss.Writes()...)
+		}
+		pending = append(pending, group...)
+		bound := int(^uint(0) >> 1)
+		if gi+1 < len(stsList) {
+			bound = stsList[gi+1]
+		}
+		flushSerially(bound)
+	}
+	flushSerially(int(^uint(0) >> 1))
+	return Schedule{Ops: out}
+}

@@ -1,0 +1,81 @@
+package lsir
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyBConScheduleValidAndConsistent: B-CON's stricter rule also
+// satisfies the LSIR and replays consistently — it is correct, just devoid
+// of commit concurrency.
+func TestPropertyBConScheduleValidAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig()
+		cfg.Txns = 5 + rng.Intn(15)
+		h := Generate(rng, cfg)
+		sets := MapHistory(h)
+		sched := BConSchedule(sets)
+		if err := CheckLSIR(h, sched); err != nil {
+			t.Logf("history: %s", h)
+			t.Logf("CheckLSIR: %v", err)
+			return false
+		}
+		if err := Replay(h, sched); err != nil {
+			t.Logf("Replay: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBConCommitsStrictlyInMasterOrder: the commit subsequence of a B-CON
+// schedule equals the master's commit order.
+func TestBConCommitsStrictlyInMasterOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		sets := MapHistory(h)
+		sched := BConSchedule(sets)
+		var commits []int
+		for _, op := range sched.Ops {
+			if op.Kind == OpCommit {
+				commits = append(commits, op.Txn)
+			}
+		}
+		// Master commit order of mapped txns = ETS order = sets order.
+		if len(commits) != len(sets) {
+			t.Fatalf("trial %d: %d commits, want %d", trial, len(commits), len(sets))
+		}
+		for i, ss := range sets {
+			if commits[i] != ss.Txn {
+				t.Fatalf("trial %d: commit %d is T%d, want T%d", trial, i, commits[i], ss.Txn)
+			}
+		}
+	}
+}
+
+// TestMadeusBatchesWhereBConCannot quantifies the LSIR's relaxation on the
+// Appendix-C example: the Madeus schedule groups c_i and c_j; B-CON's has
+// no group at all (every commit alone).
+func TestMadeusBatchesWhereBConCannot(t *testing.T) {
+	sets := MapHistory(appendixCHistory())
+	batches := CommitBatches(sets)
+	if len(batches) != 2 || batches[0] != 2 {
+		t.Errorf("Madeus batches = %v, want [2 1]", batches)
+	}
+	// B-CON: same first-read/write concurrency, but its commit stream is
+	// serial by construction; verify by checking adjacency in the
+	// schedule: between any two commits there is a response boundary
+	// (modeled here simply as: commits never form groups — the
+	// propagation layer enforces it; the model's guarantee is ordering,
+	// tested above).
+	sched := BConSchedule(sets)
+	if err := CheckLSIR(appendixCHistory(), sched); err != nil {
+		t.Errorf("B-CON on appendix C: %v", err)
+	}
+}

@@ -1,0 +1,140 @@
+package lsir
+
+// DepKind is one of the paper's dependency kinds (Definition 1).
+type DepKind int
+
+// Dependency kinds. RR dependencies are excluded by definition ("two read
+// operations have no impact on the results", Sec 2.2).
+const (
+	DepWR DepKind = iota
+	DepRW
+	DepWW
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case DepWR:
+		return "wr"
+	case DepRW:
+		return "rw"
+	case DepWW:
+		return "ww"
+	}
+	return "?"
+}
+
+// Dep is one dependency between two operations of a history, identified by
+// their indexes. Intra reports whether both operations belong to the same
+// transaction (Sec 2.2's intra/inter split).
+type Dep struct {
+	Kind     DepKind
+	Intra    bool
+	From, To int // indexes into History.Ops, From < To in history order
+}
+
+// Dependencies computes all wr-, rw-, and ww-dependencies of a history over
+// committed transactions, following Definition 1:
+//
+//   - wr: op From writes version x_i and op To later reads that version.
+//   - rw: op From reads version x_k and op To writes the immediate
+//     successor version of x after x_k.
+//   - ww: op From writes x_i and op To writes the immediate successor.
+//
+// Version order per item is the order of committed writes in the history
+// (aborted writes never become versions; under first-updater-wins they
+// cannot be read by others).
+func Dependencies(h History) []Dep {
+	txns := h.Txns()
+	committed := func(id int) bool {
+		ti := txns[id]
+		return ti != nil && ti.Committed
+	}
+
+	// Per-item committed write sequence (indexes into Ops), which defines
+	// the version order and hence "immediate successor".
+	writes := make(map[string][]int)
+	for i, op := range h.Ops {
+		if op.Kind == OpWrite && committed(op.Txn) {
+			writes[op.Item] = append(writes[op.Item], i)
+		}
+	}
+	// successorOf[item][version] = op index of the write creating the
+	// immediate successor version of `version`, if any. A version here is
+	// a writer transaction id; version 0 is the initial version.
+	type itemVer struct {
+		item string
+		ver  int
+	}
+	successor := make(map[itemVer]int)
+	for item, ws := range writes {
+		prev := 0
+		for _, wi := range ws {
+			// Skip same-transaction rewrites for version numbering:
+			// each committed write op creates a new physical write,
+			// but the "version x_i" is per transaction. The
+			// immediate successor of version prev is this write if
+			// it belongs to a different transaction.
+			w := h.Ops[wi]
+			if w.Txn == prev {
+				// Intra-transaction rewrite of its own version:
+				// version id unchanged, but it is still the
+				// successor of the version before it for ww
+				// ordering purposes within the transaction.
+				successor[itemVer{item, prev}] = wi
+				continue
+			}
+			if _, seen := successor[itemVer{item, prev}]; !seen {
+				successor[itemVer{item, prev}] = wi
+			}
+			prev = w.Txn
+		}
+	}
+
+	var deps []Dep
+	// wr and rw stem from reads.
+	for i, op := range h.Ops {
+		if op.Kind != OpRead || !committed(op.Txn) {
+			continue
+		}
+		// wr: the write that created the version this read observed.
+		if op.ReadVer != 0 && committed(op.ReadVer) {
+			for j := i - 1; j >= 0; j-- {
+				w := h.Ops[j]
+				if w.Kind == OpWrite && w.Item == op.Item && w.Txn == op.ReadVer {
+					deps = append(deps, Dep{Kind: DepWR, Intra: w.Txn == op.Txn, From: j, To: i})
+					break
+				}
+			}
+		}
+		// rw: the write creating the immediate successor of the version
+		// read.
+		if wi, ok := successor[itemVer{op.Item, op.ReadVer}]; ok && wi > i {
+			deps = append(deps, Dep{Kind: DepRW, Intra: h.Ops[wi].Txn == op.Txn, From: i, To: wi})
+		}
+	}
+	// ww: consecutive committed writes per item.
+	for item, ws := range writes {
+		_ = item
+		for k := 0; k+1 < len(ws); k++ {
+			from, to := ws[k], ws[k+1]
+			deps = append(deps, Dep{
+				Kind:  DepWW,
+				Intra: h.Ops[from].Txn == h.Ops[to].Txn,
+				From:  from,
+				To:    to,
+			})
+		}
+	}
+	return deps
+}
+
+// FilterDeps selects dependencies by kind and intra/inter.
+func FilterDeps(deps []Dep, kind DepKind, intra bool) []Dep {
+	var out []Dep
+	for _, d := range deps {
+		if d.Kind == kind && d.Intra == intra {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package lsir
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenConfig bounds the random history generator.
+type GenConfig struct {
+	Txns     int     // number of transactions to run
+	Items    int     // size of the data-item universe
+	MaxOps   int     // max read/write operations per transaction
+	PReadTxn float64 // probability a transaction is read-only
+	PAbort   float64 // probability a transaction voluntarily aborts
+}
+
+// DefaultGenConfig returns sensible fuzzing bounds.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{Txns: 12, Items: 5, MaxOps: 5, PReadTxn: 0.3, PAbort: 0.1}
+}
+
+// Generate produces a random, well-formed SI history: transactions
+// interleave arbitrarily; snapshots are taken at the first operation; reads
+// observe the latest version committed before the snapshot (or the
+// transaction's own write); writers respect the first-updater-wins rule
+// (losers abort); there are no blind writes (every write is preceded by a
+// read of the same item in the same transaction).
+//
+// The generator is itself a model SI engine; its output feeds the
+// dependency analyzer, the mapping function, and the Theorem-1 replayer.
+func Generate(rng *rand.Rand, cfg GenConfig) History {
+	type verEntry struct {
+		commitSeq int // global commit counter when this version committed
+		writer    int
+	}
+	versions := make(map[string][]verEntry) // committed versions per item, oldest first
+	locks := make(map[string]int)           // item -> active writer txn
+
+	type genTxn struct {
+		id       int
+		plan     []Op // reads/writes to attempt
+		pc       int
+		snapSeq  int // commit counter at snapshot; -1 = not yet taken
+		writes   map[string]bool
+		readSet  map[string]bool
+		finished bool
+	}
+
+	itemName := func(i int) string { return fmt.Sprintf("x%d", i) }
+
+	var txns []*genTxn
+	for i := 1; i <= cfg.Txns; i++ {
+		t := &genTxn{id: i, snapSeq: -1, writes: make(map[string]bool), readSet: make(map[string]bool)}
+		readOnly := rng.Float64() < cfg.PReadTxn
+		n := 1 + rng.Intn(cfg.MaxOps)
+		for j := 0; j < n; j++ {
+			item := itemName(rng.Intn(cfg.Items))
+			if readOnly || rng.Float64() < 0.5 {
+				t.plan = append(t.plan, Op{Txn: i, Kind: OpRead, Item: item})
+			} else {
+				// No blind writes: ensure a prior read of item.
+				already := false
+				for _, p := range t.plan {
+					if p.Kind == OpRead && p.Item == item {
+						already = true
+						break
+					}
+				}
+				if !already {
+					t.plan = append(t.plan, Op{Txn: i, Kind: OpRead, Item: item})
+				}
+				t.plan = append(t.plan, Op{Txn: i, Kind: OpWrite, Item: item})
+			}
+		}
+		txns = append(txns, t)
+	}
+
+	var h History
+	commitSeq := 0
+	readVersion := func(t *genTxn, item string) int {
+		if t.writes[item] {
+			return t.id // read own write
+		}
+		best := 0
+		for _, v := range versions[item] {
+			if v.commitSeq <= t.snapSeq {
+				best = v.writer
+			}
+		}
+		return best
+	}
+	abort := func(t *genTxn) {
+		for item, owner := range locks {
+			if owner == t.id {
+				delete(locks, item)
+			}
+		}
+		h.Ops = append(h.Ops, Op{Txn: t.id, Kind: OpAbort})
+		t.finished = true
+	}
+	commit := func(t *genTxn) {
+		commitSeq++
+		for item := range t.writes {
+			versions[item] = append(versions[item], verEntry{commitSeq: commitSeq, writer: t.id})
+			delete(locks, item)
+		}
+		h.Ops = append(h.Ops, Op{Txn: t.id, Kind: OpCommit})
+		t.finished = true
+	}
+
+	active := len(txns)
+	for active > 0 {
+		t := txns[rng.Intn(len(txns))]
+		if t.finished {
+			continue
+		}
+		if t.pc >= len(t.plan) {
+			if len(t.writes) > 0 && rng.Float64() < cfg.PAbort {
+				abort(t)
+			} else {
+				commit(t)
+			}
+			active--
+			continue
+		}
+		op := t.plan[t.pc]
+		t.pc++
+		if t.snapSeq < 0 {
+			t.snapSeq = commitSeq // snapshot at first operation
+		}
+		switch op.Kind {
+		case OpRead:
+			op.ReadVer = readVersion(t, op.Item)
+			t.readSet[op.Item] = true
+			h.Ops = append(h.Ops, op)
+		case OpWrite:
+			if t.writes[op.Item] {
+				// Rewriting its own version: allowed.
+				h.Ops = append(h.Ops, op)
+				continue
+			}
+			// First-updater-wins, committed-winner case: a version
+			// committed after our snapshot exists.
+			conflict := false
+			for _, v := range versions[op.Item] {
+				if v.commitSeq > t.snapSeq {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				abort(t)
+				active--
+				continue
+			}
+			// Active-winner case: another active writer holds the
+			// lock. Rather than modeling blocking, the loser aborts
+			// (equivalent to a lock-wait timeout; still a valid SI
+			// history).
+			if owner, held := locks[op.Item]; held && owner != t.id {
+				abort(t)
+				active--
+				continue
+			}
+			locks[op.Item] = t.id
+			t.writes[op.Item] = true
+			h.Ops = append(h.Ops, op)
+		}
+	}
+	return h
+}

@@ -1,0 +1,142 @@
+package lsir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests machine-check the paper's Lemmas 4-6 (Sec 3.3) on randomized
+// SI histories: the properties that let the middleware replay dependencies
+// from operation *timing* alone, without inspecting data items.
+
+// TestLemma4InterWRImpliesCommitBeforeFirstRead: whenever an inter-wr
+// dependency exists from committed update transaction T_i to T_j's read of
+// T_i's version, T_i's commit precedes T_j's FIRST read in the history
+// (c_i < r_j,1) — which is exactly what the MLC ordering (ETS_i < STS_j or
+// the rule-1-b case) captures.
+func TestLemma4InterWRImpliesCommitBeforeFirstRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		txns := h.Txns()
+		for _, d := range FilterDeps(Dependencies(h), DepWR, false) {
+			from, to := h.Ops[d.From], h.Ops[d.To]
+			writer, reader := txns[from.Txn], txns[to.Txn]
+			if !writer.Committed {
+				continue
+			}
+			// Under SI a reader can only observe committed versions:
+			// the writer's commit must precede the reader's snapshot,
+			// i.e. its FIRST read.
+			if reader.FirstRead >= 0 && writer.End > reader.FirstRead {
+				t.Fatalf("trial %d: inter-wr from T%d to T%d but c%d at %d after r%d,1 at %d in %s",
+					trial, from.Txn, to.Txn, from.Txn, writer.End, to.Txn, reader.FirstRead, h)
+			}
+		}
+	}
+}
+
+// TestLemma5RWImpliesFirstReadBeforeCommit: every rw-dependency (the reader
+// observed the version the writer later superseded) has the reader's FIRST
+// read before the writer's commit: r_j,1 < c_i.
+func TestLemma5RWImpliesFirstReadBeforeCommit(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		txns := h.Txns()
+		deps := Dependencies(h)
+		for _, d := range append(FilterDeps(deps, DepRW, false), FilterDeps(deps, DepRW, true)...) {
+			readOp, writeOp := h.Ops[d.From], h.Ops[d.To]
+			reader, writer := txns[readOp.Txn], txns[writeOp.Txn]
+			if !writer.Committed || reader.FirstRead < 0 || writer.End < 0 {
+				continue
+			}
+			if reader.FirstRead > writer.End {
+				t.Fatalf("trial %d: rw-dep but r%d,1 at %d after c%d at %d in %s",
+					trial, readOp.Txn, reader.FirstRead, writeOp.Txn, writer.End, h)
+			}
+		}
+	}
+}
+
+// TestLemma6IntraWWOrderedWithinTransaction: intra-ww dependencies always
+// point forward within the same transaction (FIFO write order suffices to
+// replay them — rule 2).
+func TestLemma6IntraWWOrderedWithinTransaction(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		for _, d := range FilterDeps(Dependencies(h), DepWW, true) {
+			if h.Ops[d.From].Txn != h.Ops[d.To].Txn {
+				t.Fatalf("trial %d: intra-ww across transactions", trial)
+			}
+			if d.From >= d.To {
+				t.Fatalf("trial %d: intra-ww not forward in history order", trial)
+			}
+		}
+	}
+}
+
+// TestLemma2OtherReadsCarryNoNewInformation: discarding non-first reads
+// (mapping function rule 2) loses nothing — each later read of a committed
+// update transaction observes exactly the version determined by its
+// snapshot (the state at its first read) or its own writes, never anything
+// newer.
+func TestLemma2OtherReadsCarryNoNewInformation(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 300; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		txns := h.Txns()
+		// Committed state per item at each history position.
+		type verAt struct {
+			pos int
+			ver int
+		}
+		byItem := make(map[string][]verAt)
+		for i, op := range h.Ops {
+			if op.Kind == OpCommit {
+				// Apply this txn's writes (committed).
+				for j := 0; j <= i; j++ {
+					w := h.Ops[j]
+					if w.Txn == op.Txn && w.Kind == OpWrite {
+						byItem[w.Item] = append(byItem[w.Item], verAt{pos: i, ver: w.Txn})
+					}
+				}
+			}
+		}
+		committedAt := func(item string, pos int) int {
+			cur := 0
+			for _, va := range byItem[item] {
+				if va.pos < pos {
+					cur = va.ver
+				}
+			}
+			return cur
+		}
+		for _, ti := range txns {
+			if !ti.Committed || ti.FirstRead < 0 {
+				continue
+			}
+			ownWrites := make(map[string]bool)
+			for i := ti.FirstRead; i <= ti.End; i++ {
+				op := h.Ops[i]
+				if op.Txn != ti.ID {
+					continue
+				}
+				switch op.Kind {
+				case OpWrite:
+					ownWrites[op.Item] = true
+				case OpRead:
+					want := committedAt(op.Item, ti.FirstRead)
+					if ownWrites[op.Item] {
+						want = ti.ID
+					}
+					if op.ReadVer != want {
+						t.Fatalf("trial %d: T%d read %s_%d at %d, snapshot says %s_%d in %s",
+							trial, ti.ID, op.Item, op.ReadVer, i, op.Item, want, h)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,433 @@
+package lsir
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// appendixCHistory is the worked example of Appendix C:
+//
+//	T_i = r_i(x_p) w_i(x_i) c_i
+//	T_j = r_j(y_q) w_j(y_j) c_j   (concurrent with T_i)
+//	T_k = r_k(x_i) w_k(x_k) c_k   (starts after both committed)
+func appendixCHistory() History {
+	return History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 2, Kind: OpRead, Item: "y", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "x"},
+		{Txn: 2, Kind: OpWrite, Item: "y"},
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpCommit},
+		{Txn: 3, Kind: OpRead, Item: "x", ReadVer: 1},
+		{Txn: 3, Kind: OpWrite, Item: "x"},
+		{Txn: 3, Kind: OpCommit},
+	}}
+}
+
+func TestAppendixCTimestamps(t *testing.T) {
+	sets := MapHistory(appendixCHistory())
+	if len(sets) != 3 {
+		t.Fatalf("got %d syncsets, want 3", len(sets))
+	}
+	// The paper's example starts the MLC at 3; ours starts at 0, so the
+	// expected stamps are shifted by 3: STS_i=STS_j=0, ETS_i=0, ETS_j=1,
+	// STS_k=ETS_k=2.
+	byTxn := make(map[int]Syncset)
+	for _, ss := range sets {
+		byTxn[ss.Txn] = ss
+	}
+	if s := byTxn[1]; s.STS != 0 || s.ETS != 0 {
+		t.Errorf("T_i STS/ETS = %d/%d, want 0/0", s.STS, s.ETS)
+	}
+	if s := byTxn[2]; s.STS != 0 || s.ETS != 1 {
+		t.Errorf("T_j STS/ETS = %d/%d, want 0/1", s.STS, s.ETS)
+	}
+	if s := byTxn[3]; s.STS != 2 || s.ETS != 2 {
+		t.Errorf("T_k STS/ETS = %d/%d, want 2/2", s.STS, s.ETS)
+	}
+}
+
+func TestAppendixCScheduleAndGroupCommit(t *testing.T) {
+	h := appendixCHistory()
+	sets := MapHistory(h)
+	sched := MadeusSchedule(sets)
+
+	// Expected shape: r_i r_j | w_i w_j | c_i c_j (one group commit) |
+	// r_k | w_k | c_k.
+	var kinds []string
+	for _, op := range sched.Ops {
+		kinds = append(kinds, op.String())
+	}
+	got := strings.Join(kinds, " ")
+	want := "r1(x_0) r2(y_0) w1(x_1) w2(y_2) c1 c2 r3(x_1) w3(x_3) c3"
+	if got != want {
+		t.Errorf("schedule = %s\nwant       %s", got, want)
+	}
+
+	if err := CheckLSIR(h, sched); err != nil {
+		t.Errorf("CheckLSIR: %v", err)
+	}
+	if err := Replay(h, sched); err != nil {
+		t.Errorf("Replay: %v", err)
+	}
+
+	batches := CommitBatches(sets)
+	if len(batches) != 2 || batches[0] != 2 || batches[1] != 1 {
+		t.Errorf("CommitBatches = %v, want [2 1] (c_i and c_j group committed)", batches)
+	}
+}
+
+func TestMappingDiscardsReadOnlyAndAborted(t *testing.T) {
+	h := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0}, // read-only txn
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpRead, Item: "x", ReadVer: 0}, // aborted update txn
+		{Txn: 2, Kind: OpWrite, Item: "x"},
+		{Txn: 2, Kind: OpAbort},
+		{Txn: 3, Kind: OpRead, Item: "x", ReadVer: 0}, // committed update txn
+		{Txn: 3, Kind: OpRead, Item: "y", ReadVer: 0}, // second read: discarded
+		{Txn: 3, Kind: OpWrite, Item: "x"},
+		{Txn: 3, Kind: OpCommit},
+	}}
+	sets := MapHistory(h)
+	if len(sets) != 1 || sets[0].Txn != 3 {
+		t.Fatalf("sets = %+v, want only T3", sets)
+	}
+	ops := sets[0].Ops
+	if len(ops) != 3 || ops[0].Kind != OpRead || ops[1].Kind != OpWrite || ops[2].Kind != OpCommit {
+		t.Errorf("T3 syncset = %v, want [first read, write, commit]", ops)
+	}
+	if ops[0].Item != "x" {
+		t.Errorf("first read kept %q, want the FIRST read x", ops[0].Item)
+	}
+}
+
+func TestMLCIncrementsOnlyOnUpdateCommits(t *testing.T) {
+	h := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0}, // read-only
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 2, Kind: OpWrite, Item: "x"},
+		{Txn: 2, Kind: OpCommit},
+		{Txn: 3, Kind: OpRead, Item: "x", ReadVer: 2},
+		{Txn: 3, Kind: OpWrite, Item: "x"},
+		{Txn: 3, Kind: OpCommit},
+	}}
+	sets := MapHistory(h)
+	byTxn := make(map[int]Syncset)
+	for _, ss := range sets {
+		byTxn[ss.Txn] = ss
+	}
+	// T1 is read-only: no MLC bump, so T2 has STS=0,ETS=0; T3 STS=1,ETS=1.
+	if s := byTxn[2]; s.STS != 0 || s.ETS != 0 {
+		t.Errorf("T2 = %d/%d, want 0/0", s.STS, s.ETS)
+	}
+	if s := byTxn[3]; s.STS != 1 || s.ETS != 1 {
+		t.Errorf("T3 = %d/%d, want 1/1", s.STS, s.ETS)
+	}
+}
+
+func TestDependencyClassification(t *testing.T) {
+	// T1 writes x and commits; T2 reads x_1 (inter-wr), rewrites x twice
+	// (intra-ww, and its first read -> own write is intra-rw), commits.
+	// T3 concurrent with T2 read x_1 before T2's commit (inter-rw with
+	// T2's write).
+	h := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "x"},
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpRead, Item: "x", ReadVer: 1},
+		{Txn: 3, Kind: OpRead, Item: "x", ReadVer: 1},
+		{Txn: 2, Kind: OpWrite, Item: "x"},
+		{Txn: 2, Kind: OpWrite, Item: "x"},
+		{Txn: 2, Kind: OpCommit},
+		{Txn: 3, Kind: OpCommit},
+	}}
+	deps := Dependencies(h)
+
+	if n := len(FilterDeps(deps, DepWR, false)); n != 2 {
+		t.Errorf("inter-wr = %d, want 2 (w1->r2, w1->r3)", n)
+	}
+	if n := len(FilterDeps(deps, DepRW, true)); n != 2 {
+		t.Errorf("intra-rw = %d, want 2 (r1 -> w1, r2 -> w2)", n)
+	}
+	if n := len(FilterDeps(deps, DepRW, false)); n != 1 {
+		t.Errorf("inter-rw = %d, want 1 (r3 -> w2)", n)
+	}
+	if n := len(FilterDeps(deps, DepWW, true)); n < 1 {
+		t.Errorf("intra-ww = %d, want >= 1 (w2 -> w2)", n)
+	}
+}
+
+// TestLemma1NoConcurrentInterWW: the first-updater-wins rule means no SI
+// history contains an inter-ww dependency between concurrent transactions —
+// every inter-ww is between serially ordered transactions, whose order the
+// LSIR already fixes via (1-a).
+func TestLemma1NoConcurrentInterWW(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		txns := h.Txns()
+		for _, d := range FilterDeps(Dependencies(h), DepWW, false) {
+			i, j := h.Ops[d.From].Txn, h.Ops[d.To].Txn
+			// T_j must have started after T_i committed: its first
+			// op index > T_i's commit index.
+			firstJ := -1
+			for idx, op := range h.Ops {
+				if op.Txn == j {
+					firstJ = idx
+					break
+				}
+			}
+			if firstJ < txns[i].End {
+				t.Fatalf("trial %d: concurrent inter-ww between %d and %d in %s", trial, i, j, h)
+			}
+		}
+	}
+}
+
+// TestPropertyMadeusScheduleValidAndConsistent is the machine check of
+// Theorem 1 + Theorem 2's scheduling half: for randomized SI histories, the
+// Madeus schedule always satisfies the LSIR and always replays to a slave
+// state consistent with the master.
+func TestPropertyMadeusScheduleValidAndConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultGenConfig()
+		cfg.Txns = 5 + rng.Intn(15)
+		h := Generate(rng, cfg)
+		sets := MapHistory(h)
+		sched := MadeusSchedule(sets)
+		if err := CheckLSIR(h, sched); err != nil {
+			t.Logf("history: %s", h)
+			t.Logf("CheckLSIR: %v", err)
+			return false
+		}
+		if err := Replay(h, sched); err != nil {
+			t.Logf("history: %s", h)
+			t.Logf("Replay: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SerialSchedule lays each syncset out whole, in master commit (ETS) order —
+// the B-ALL / B-MIN propagation order.
+func serialSchedule(sets []Syncset) Schedule {
+	var out []Op
+	for _, ss := range sets {
+		out = append(out, ss.Ops...)
+	}
+	return Schedule{Ops: out}
+}
+
+// TestSerialCommitOrderCanViolateLSIR documents why the LSIR orders first
+// reads before later commits (rule 1-b): serial commit-order replay places a
+// concurrent transaction's first read AFTER a commit it preceded on the
+// master, so its replayed snapshot would differ. (The serial baselines are
+// still state-consistent for workloads whose update statements read only
+// rows they also write — the TPC-W property — but the model check is
+// strict.)
+func TestSerialCommitOrderCanViolateLSIR(t *testing.T) {
+	// T1 and T2 concurrent; T1 commits first; T2's first read preceded
+	// T1's commit.
+	h := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 2, Kind: OpRead, Item: "y", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "x"},
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpWrite, Item: "y"},
+		{Txn: 2, Kind: OpCommit},
+	}}
+	sets := MapHistory(h)
+	serial := serialSchedule(sets)
+	if err := CheckLSIR(h, serial); err == nil {
+		t.Error("serial commit-order schedule unexpectedly satisfies the LSIR")
+	}
+	if err := Replay(h, serial); err == nil {
+		t.Error("strict replay unexpectedly accepts the serial schedule")
+	}
+	// The Madeus schedule for the same history is valid.
+	if err := CheckLSIR(h, MadeusSchedule(sets)); err != nil {
+		t.Errorf("Madeus schedule: %v", err)
+	}
+}
+
+func TestCheckLSIRDetectsRuleViolations(t *testing.T) {
+	h := appendixCHistory()
+	sets := MapHistory(h)
+	good := MadeusSchedule(sets)
+
+	// (1-a): move c1 after r3 (c1 < r3,1 on master).
+	bad1 := Schedule{Ops: swapOps(good.Ops, findOp(good.Ops, 1, OpCommit), findOp(good.Ops, 3, OpRead))}
+	if err := CheckLSIR(h, bad1); err == nil || !strings.Contains(err.Error(), "1-a") {
+		t.Errorf("rule 1-a violation not caught: %v", err)
+	}
+
+	// (2): reverse a transaction's write order.
+	h2 := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "x"},
+		{Txn: 1, Kind: OpRead, Item: "y", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "y"},
+		{Txn: 1, Kind: OpCommit},
+	}}
+	sets2 := MapHistory(h2)
+	good2 := MadeusSchedule(sets2)
+	bad2 := Schedule{Ops: swapOps(good2.Ops, 1, 2)} // swap w(x) and w(y)
+	if err := CheckLSIR(h2, bad2); err == nil {
+		t.Error("rule 2 violation not caught")
+	}
+
+	// Completeness: drop an op.
+	bad3 := Schedule{Ops: good.Ops[:len(good.Ops)-1]}
+	if err := CheckLSIR(h, bad3); err == nil {
+		t.Error("missing op not caught")
+	}
+
+	// Extra transaction.
+	bad4 := Schedule{Ops: append(append([]Op{}, good.Ops...), Op{Txn: 99, Kind: OpCommit})}
+	if err := CheckLSIR(h, bad4); err == nil {
+		t.Error("extra txn not caught")
+	}
+}
+
+func findOp(ops []Op, txn int, kind OpKind) int {
+	for i, op := range ops {
+		if op.Txn == txn && op.Kind == kind {
+			return i
+		}
+	}
+	return -1
+}
+
+func swapOps(ops []Op, i, j int) []Op {
+	out := append([]Op{}, ops...)
+	out[i], out[j] = out[j], out[i]
+	return out
+}
+
+func TestFinalStateAndItems(t *testing.T) {
+	h := appendixCHistory()
+	fs := h.FinalState()
+	if fs["x"] != 3 || fs["y"] != 2 {
+		t.Errorf("FinalState = %v", fs)
+	}
+	items := h.Items()
+	if len(items) != 2 || items[0] != "x" || items[1] != "y" {
+		t.Errorf("Items = %v", items)
+	}
+}
+
+func TestHistoryString(t *testing.T) {
+	h := History{Ops: []Op{
+		{Txn: 1, Kind: OpRead, Item: "x", ReadVer: 0},
+		{Txn: 1, Kind: OpWrite, Item: "x"},
+		{Txn: 1, Kind: OpCommit},
+		{Txn: 2, Kind: OpAbort},
+	}}
+	want := "r1(x_0) w1(x_1) c1 a2"
+	if got := h.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// TestGeneratorProducesValidSIHistories sanity-checks the generator itself:
+// reads observe committed versions consistent with snapshots, and no two
+// concurrent committed transactions write the same item.
+func TestGeneratorProducesValidSIHistories(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sawCommit, sawAbort, sawReadOnly := false, false, false
+	for trial := 0; trial < 100; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		txns := h.Txns()
+		for _, ti := range txns {
+			if ti.Committed {
+				sawCommit = true
+				if !ti.Update {
+					sawReadOnly = true
+				}
+			}
+			if ti.Aborted {
+				sawAbort = true
+			}
+			if ti.Committed && ti.Aborted {
+				t.Fatal("txn both committed and aborted")
+			}
+			if ti.End < 0 {
+				t.Fatal("unfinished txn in history")
+			}
+		}
+		// No blind writes: each write preceded by a read of the item
+		// in the same txn.
+		seenRead := make(map[[2]interface{}]bool)
+		for _, op := range h.Ops {
+			if op.Kind == OpRead {
+				seenRead[[2]interface{}{op.Txn, op.Item}] = true
+			}
+			if op.Kind == OpWrite && !seenRead[[2]interface{}{op.Txn, op.Item}] {
+				t.Fatalf("blind write in %s", h)
+			}
+		}
+	}
+	if !sawCommit || !sawAbort || !sawReadOnly {
+		t.Errorf("generator coverage: commit=%v abort=%v readonly=%v", sawCommit, sawAbort, sawReadOnly)
+	}
+}
+
+// TestPropertyGroupCommitGrowsWithConcurrency: more concurrent transactions
+// yield larger Madeus commit batches — the mechanism behind the paper's
+// "migration time decreases under heavy workload" observation.
+func TestPropertyGroupCommitGrowsWithConcurrency(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	maxBatch := func(txns int) int {
+		best := 0
+		for trial := 0; trial < 50; trial++ {
+			cfg := DefaultGenConfig()
+			cfg.Txns = txns
+			cfg.PReadTxn = 0
+			cfg.PAbort = 0
+			cfg.Items = 50 // low contention -> high concurrency
+			h := Generate(rng, cfg)
+			for _, b := range CommitBatches(MapHistory(h)) {
+				if b > best {
+					best = b
+				}
+			}
+		}
+		return best
+	}
+	low := maxBatch(2)
+	high := maxBatch(30)
+	if high <= low {
+		t.Errorf("max batch under heavy concurrency (%d) not larger than light (%d)", high, low)
+	}
+}
+
+func BenchmarkMapHistory(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultGenConfig()
+	cfg.Txns = 100
+	h := Generate(rng, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MapHistory(h)
+	}
+}
+
+func BenchmarkMadeusSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := DefaultGenConfig()
+	cfg.Txns = 100
+	sets := MapHistory(Generate(rng, cfg))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MadeusSchedule(sets)
+	}
+}

@@ -1,0 +1,92 @@
+package lsir
+
+import "sort"
+
+// Syncset is the output of the mapping function ℱ for one committed update
+// transaction (Definition 2): its first read, all its writes in order, and
+// its commit. STS and ETS are the start/end timestamps the Madeus worker
+// stamps on the syncset buffer (Sec 4.4.1): STS is the master logical clock
+// (MLC) value at the first read, ETS the MLC value at commit; the MLC
+// increments by one at every update-transaction commit.
+type Syncset struct {
+	Txn      int
+	Ops      []Op
+	STS, ETS int
+}
+
+// MapHistory applies the mapping function ℱ to every transaction of a
+// master history and stamps STS/ETS with the worker's MLC discipline.
+// Read-only and aborted transactions map to the empty set; for committed
+// update transactions the first read is preserved, the remaining reads are
+// discarded, and writes and the commit are preserved in order.
+//
+// The returned syncsets are ordered by ETS (which equals master commit
+// order, since the MLC increments exactly once per update commit).
+func MapHistory(h History) []Syncset {
+	txns := h.Txns()
+	isMapped := func(id int) bool {
+		ti := txns[id]
+		return ti != nil && ti.Committed && ti.Update
+	}
+
+	sets := make(map[int]*Syncset)
+	mlc := 0
+	for _, op := range h.Ops {
+		if !isMapped(op.Txn) {
+			continue
+		}
+		ss, ok := sets[op.Txn]
+		switch op.Kind {
+		case OpRead:
+			if !ok {
+				// First read: preserved, stamps STS.
+				ss = &Syncset{Txn: op.Txn, STS: mlc}
+				ss.Ops = append(ss.Ops, op)
+				sets[op.Txn] = ss
+			}
+			// Later reads discarded (Definition 2, rule 2).
+		case OpWrite:
+			if !ok {
+				// No blind writes (Sec 3.1): a write before any
+				// read cannot occur in well-formed histories;
+				// tolerate by synthesizing the buffer.
+				ss = &Syncset{Txn: op.Txn, STS: mlc}
+				sets[op.Txn] = ss
+			}
+			ss.Ops = append(ss.Ops, op)
+		case OpCommit:
+			if ss == nil {
+				continue
+			}
+			ss.Ops = append(ss.Ops, op)
+			ss.ETS = mlc
+			mlc++
+		}
+	}
+
+	out := make([]Syncset, 0, len(sets))
+	for _, ss := range sets {
+		out = append(out, *ss)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ETS < out[j].ETS })
+	return out
+}
+
+// FirstRead returns the syncset's first read op, or nil.
+func (s *Syncset) FirstRead() *Op {
+	if len(s.Ops) > 0 && s.Ops[0].Kind == OpRead {
+		return &s.Ops[0]
+	}
+	return nil
+}
+
+// Writes returns the syncset's write ops in order.
+func (s *Syncset) Writes() []Op {
+	var out []Op
+	for _, op := range s.Ops {
+		if op.Kind == OpWrite {
+			out = append(out, op)
+		}
+	}
+	return out
+}

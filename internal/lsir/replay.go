@@ -1,0 +1,99 @@
+package lsir
+
+import "fmt"
+
+// Replay executes a slave schedule under the SI model and checks Theorem 1:
+// the slave must be consistent with the master. Concretely it verifies
+//
+//  1. every replayed first read observes the same committed state it
+//     observed on the master: the set of (mapped) transactions committed
+//     before the read is identical — this is what makes re-executed
+//     relative updates (UPDATE ... SET x = x - 1) compute identical values;
+//  2. after all syncsets are applied, the slave's final per-item versions
+//     equal the master's final state.
+//
+// It returns an error describing the first inconsistency.
+func Replay(h History, s Schedule) error {
+	sets := MapHistory(h)
+	mapped := make(map[int]bool, len(sets))
+	for _, ss := range sets {
+		mapped[ss.Txn] = true
+	}
+
+	// Master side: for each mapped transaction, the set of mapped
+	// transactions committed before its first read.
+	type intSet map[int]bool
+	masterBefore := make(map[int]intSet)
+	{
+		committed := make(intSet)
+		seenRead := make(map[int]bool)
+		for _, op := range h.Ops {
+			if !mapped[op.Txn] {
+				continue
+			}
+			switch op.Kind {
+			case OpRead:
+				if !seenRead[op.Txn] {
+					seenRead[op.Txn] = true
+					cp := make(intSet, len(committed))
+					for k := range committed {
+						cp[k] = true
+					}
+					masterBefore[op.Txn] = cp
+				}
+			case OpCommit:
+				committed[op.Txn] = true
+			}
+		}
+	}
+
+	// Slave side: walk the schedule, tracking commit state; apply writes
+	// buffered per transaction at commit.
+	slaveState := make(map[string]int)
+	bufWrites := make(map[int][]Op)
+	committed := make(map[int]bool)
+	seenRead := make(map[int]bool)
+	for _, op := range s.Ops {
+		switch op.Kind {
+		case OpRead:
+			if seenRead[op.Txn] {
+				return fmt.Errorf("lsir: replay: txn %d has more than one read in schedule", op.Txn)
+			}
+			seenRead[op.Txn] = true
+			want := masterBefore[op.Txn]
+			if len(want) != len(committed) {
+				return fmt.Errorf("lsir: replay: txn %d snapshot has %d committed txns on slave, %d on master",
+					op.Txn, len(committed), len(want))
+			}
+			for k := range want {
+				if !committed[k] {
+					return fmt.Errorf("lsir: replay: txn %d snapshot missing commit of txn %d", op.Txn, k)
+				}
+			}
+		case OpWrite:
+			bufWrites[op.Txn] = append(bufWrites[op.Txn], op)
+		case OpCommit:
+			if committed[op.Txn] {
+				return fmt.Errorf("lsir: replay: txn %d committed twice", op.Txn)
+			}
+			committed[op.Txn] = true
+			for _, w := range bufWrites[op.Txn] {
+				slaveState[w.Item] = w.Txn
+			}
+		case OpAbort:
+			return fmt.Errorf("lsir: replay: abort op for txn %d in schedule", op.Txn)
+		}
+	}
+
+	// Final-state equality.
+	masterState := h.FinalState()
+	if len(masterState) != len(slaveState) {
+		return fmt.Errorf("lsir: replay: final state sizes differ: master %d, slave %d", len(masterState), len(slaveState))
+	}
+	for item, ver := range masterState {
+		if slaveState[item] != ver {
+			return fmt.Errorf("lsir: replay: item %s is version %d on slave, %d on master", item, slaveState[item], ver)
+		}
+	}
+	return nil
+}

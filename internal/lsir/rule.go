@@ -1,0 +1,206 @@
+package lsir
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Schedule is a candidate slave schedule: a total order over syncset
+// operations. (Operations the slave executes concurrently appear in some
+// serialization order here; the LSIR only constrains specific pairs, so any
+// serialization of a rule-respecting concurrent execution checks out.)
+type Schedule struct {
+	Ops []Op
+}
+
+// CheckLSIR verifies that schedule s over the syncsets of master history h
+// satisfies Definition 3:
+//
+//	(1-a) c_i^m < r_{j,1}^m  ⇒  c_i^s < r_{j,1}^s
+//	(1-b) r_{j,1}^m < c_i^m  ⇒  r_{j,1}^s < c_i^s
+//	(2)   intra-transaction write order is preserved
+//
+// plus completeness: the schedule contains exactly the ℱ-mapped operations.
+// It returns nil when the schedule is LSIR-valid.
+func CheckLSIR(h History, s Schedule) error {
+	sets := MapHistory(h)
+
+	// Completeness / per-transaction op sequence equality.
+	wantPerTxn := make(map[int][]Op)
+	for _, ss := range sets {
+		wantPerTxn[ss.Txn] = ss.Ops
+	}
+	gotPerTxn := make(map[int][]Op)
+	for _, op := range s.Ops {
+		gotPerTxn[op.Txn] = append(gotPerTxn[op.Txn], op)
+	}
+	if len(gotPerTxn) != len(wantPerTxn) {
+		return fmt.Errorf("lsir: schedule covers %d transactions, want %d", len(gotPerTxn), len(wantPerTxn))
+	}
+	for txn, want := range wantPerTxn {
+		got := gotPerTxn[txn]
+		if len(got) != len(want) {
+			return fmt.Errorf("lsir: txn %d has %d ops in schedule, want %d", txn, len(got), len(want))
+		}
+		for i := range want {
+			// Rule (2) — and the FIFO syncset buffer in general —
+			// requires each transaction's preserved ops in master
+			// order.
+			if got[i].Kind != want[i].Kind || got[i].Item != want[i].Item {
+				return fmt.Errorf("lsir: txn %d op %d is %v, want %v (rule 2 / FIFO order)", txn, i, got[i], want[i])
+			}
+		}
+	}
+
+	// Positions of first reads and commits in master history and
+	// schedule.
+	type pos struct{ firstRead, commit int }
+	master := make(map[int]pos)
+	for _, ss := range sets {
+		master[ss.Txn] = pos{firstRead: -1, commit: -1}
+	}
+	mark := func(m map[int]pos, ops []Op, onlyMapped map[int]pos) {
+		seenRead := make(map[int]bool)
+		for i, op := range ops {
+			if _, ok := onlyMapped[op.Txn]; !ok {
+				continue
+			}
+			p := m[op.Txn]
+			switch op.Kind {
+			case OpRead:
+				if !seenRead[op.Txn] {
+					seenRead[op.Txn] = true
+					p.firstRead = i
+				}
+			case OpCommit:
+				p.commit = i
+			}
+			m[op.Txn] = p
+		}
+	}
+	mark(master, h.Ops, master)
+	sched := make(map[int]pos)
+	for txn := range master {
+		sched[txn] = pos{firstRead: -1, commit: -1}
+	}
+	mark(sched, s.Ops, sched)
+
+	// Rules (1-a) and (1-b): for every commit/first-read pair, the
+	// master's relative order must be preserved.
+	for i, pi := range master {
+		for j, pj := range master {
+			if i == j || pi.commit < 0 || pj.firstRead < 0 {
+				continue
+			}
+			si, sj := sched[i], sched[j]
+			if pi.commit < pj.firstRead && !(si.commit < sj.firstRead) {
+				return fmt.Errorf("lsir: rule (1-a) violated: c%d < r%d,1 in master but not in schedule", i, j)
+			}
+			if pj.firstRead < pi.commit && !(sj.firstRead < si.commit) {
+				return fmt.Errorf("lsir: rule (1-b) violated: r%d,1 < c%d in master but not in schedule", j, i)
+			}
+		}
+	}
+	return nil
+}
+
+// MadeusSchedule builds the concrete slave schedule the Madeus conductor
+// and players produce (Algorithms 4 and 5): syncsets are grouped by STS;
+// for each group, first reads are propagated (concurrently — here in txn
+// order), then the groups' writes, then every pending commit whose ETS
+// precedes the next group's STS (Equation 1), which is the batch that group
+// commits on the slave.
+func MadeusSchedule(sets []Syncset) Schedule {
+	bySTS := make(map[int][]Syncset)
+	var stsList []int
+	for _, ss := range sets {
+		if _, ok := bySTS[ss.STS]; !ok {
+			stsList = append(stsList, ss.STS)
+		}
+		bySTS[ss.STS] = append(bySTS[ss.STS], ss)
+	}
+	sort.Ints(stsList)
+
+	var out []Op
+	var pending []Syncset // first read + writes emitted, commit pending
+	flushCommits := func(bound int) {
+		// Emit pending commits with ETS < bound, in ETS order (they
+		// form one concurrent group-commit batch on the slave).
+		sort.Slice(pending, func(i, j int) bool { return pending[i].ETS < pending[j].ETS })
+		rest := pending[:0]
+		for _, ss := range pending {
+			if ss.ETS < bound {
+				out = append(out, Op{Txn: ss.Txn, Kind: OpCommit})
+			} else {
+				rest = append(rest, ss)
+			}
+		}
+		pending = rest
+	}
+	for gi, sts := range stsList {
+		group := bySTS[sts]
+		// Concurrent first reads of the group.
+		for _, ss := range group {
+			if fr := ss.FirstRead(); fr != nil {
+				out = append(out, *fr)
+			}
+		}
+		// Their writes (players propagate autonomously, FIFO per txn).
+		for _, ss := range group {
+			out = append(out, ss.Writes()...)
+		}
+		pending = append(pending, group...)
+		// The next SLC bounds which commits may propagate (Eq. 1).
+		bound := int(^uint(0) >> 1) // +inf on the last group
+		if gi+1 < len(stsList) {
+			bound = stsList[gi+1]
+		}
+		flushCommits(bound)
+	}
+	flushCommits(int(^uint(0) >> 1))
+	return Schedule{Ops: out}
+}
+
+// CommitBatches reports the group-commit batches the Madeus schedule
+// produces: for each STS step, the number of commits propagated
+// concurrently. Used to quantify the group-commit advantage (Sec 4.1).
+func CommitBatches(sets []Syncset) []int {
+	bySTS := make(map[int]int)
+	var stsList []int
+	for _, ss := range sets {
+		if _, ok := bySTS[ss.STS]; !ok {
+			stsList = append(stsList, ss.STS)
+		}
+		bySTS[ss.STS]++
+	}
+	sort.Ints(stsList)
+
+	var batches []int
+	pending := 0
+	etss := make([]int, 0, len(sets))
+	for _, ss := range sets {
+		etss = append(etss, ss.ETS)
+	}
+	sort.Ints(etss)
+	ei := 0
+	for gi, sts := range stsList {
+		pending += bySTS[sts]
+		bound := int(^uint(0) >> 1)
+		if gi+1 < len(stsList) {
+			bound = stsList[gi+1]
+		}
+		n := 0
+		for ei < len(etss) && etss[ei] < bound {
+			ei++
+			n++
+		}
+		if n > 0 {
+			batches = append(batches, n)
+			pending -= n
+		}
+	}
+	if pending > 0 {
+		batches = append(batches, pending)
+	}
+	return batches
+}

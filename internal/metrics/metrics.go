@@ -1,0 +1,175 @@
+// Package metrics collects response times and throughput the way the
+// paper's evaluation reports them: mean response time per load level
+// (Fig 5), and per-interval response-time / throughput time series around a
+// migration (Figs 7-19).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency observations, each stamped with elapsed time
+// from the recorder's start.
+type Recorder struct {
+	start time.Time
+
+	mu      sync.Mutex
+	lat     []time.Duration // all observations (for quantiles)
+	stamps  []time.Duration // elapsed-at-observation, parallel to lat
+	errors  int
+	dropped int
+}
+
+// NewRecorder starts a recorder; observations are bucketed relative to now.
+func NewRecorder() *Recorder {
+	return &Recorder{start: time.Now()}
+}
+
+// Start returns the recorder's epoch.
+func (r *Recorder) Start() time.Time { return r.start }
+
+// Observe records one successful interaction's latency.
+func (r *Recorder) Observe(latency time.Duration) {
+	elapsed := time.Since(r.start)
+	r.mu.Lock()
+	r.lat = append(r.lat, latency)
+	r.stamps = append(r.stamps, elapsed)
+	r.mu.Unlock()
+}
+
+// ObserveError counts a failed interaction (aborts, conflicts).
+func (r *Recorder) ObserveError() {
+	r.mu.Lock()
+	r.errors++
+	r.mu.Unlock()
+}
+
+// Count returns the number of successful observations.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.lat)
+}
+
+// Errors returns the number of failed interactions.
+func (r *Recorder) Errors() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.errors
+}
+
+// Summary is an aggregate latency/throughput view.
+type Summary struct {
+	Count      int
+	Errors     int
+	Mean       time.Duration
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Max        time.Duration
+	Throughput float64 // successful interactions per second over the span
+	Span       time.Duration
+}
+
+// Summarize aggregates everything observed so far.
+func (r *Recorder) Summarize() Summary {
+	r.mu.Lock()
+	lat := append([]time.Duration{}, r.lat...)
+	errs := r.errors
+	var span time.Duration
+	if len(r.stamps) > 0 {
+		span = r.stamps[len(r.stamps)-1]
+	}
+	r.mu.Unlock()
+
+	s := Summary{Count: len(lat), Errors: errs, Span: span}
+	if len(lat) == 0 {
+		return s
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var total time.Duration
+	for _, l := range lat {
+		total += l
+	}
+	s.Mean = total / time.Duration(len(lat))
+	s.P50 = quantile(lat, 0.50)
+	s.P95 = quantile(lat, 0.95)
+	s.P99 = quantile(lat, 0.99)
+	s.Max = lat[len(lat)-1]
+	if span > 0 {
+		s.Throughput = float64(len(lat)) / span.Seconds()
+	}
+	return s
+}
+
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Bucket is one time-series interval.
+type Bucket struct {
+	Start time.Duration // interval start, elapsed from recorder start
+	Count int
+	Mean  time.Duration
+	Max   time.Duration
+	// Throughput is Count divided by the interval width.
+	Throughput float64
+}
+
+// Series buckets observations into fixed-width intervals — the x-axis of
+// the paper's Figures 7-19.
+func (r *Recorder) Series(width time.Duration) []Bucket {
+	if width <= 0 {
+		width = time.Second
+	}
+	r.mu.Lock()
+	lat := append([]time.Duration{}, r.lat...)
+	stamps := append([]time.Duration{}, r.stamps...)
+	r.mu.Unlock()
+	if len(lat) == 0 {
+		return nil
+	}
+	last := stamps[len(stamps)-1]
+	n := int(last/width) + 1
+	buckets := make([]Bucket, n)
+	var totals []time.Duration = make([]time.Duration, n)
+	for i := range buckets {
+		buckets[i].Start = time.Duration(i) * width
+	}
+	for i, st := range stamps {
+		b := int(st / width)
+		buckets[b].Count++
+		totals[b] += lat[i]
+		if lat[i] > buckets[b].Max {
+			buckets[b].Max = lat[i]
+		}
+	}
+	for i := range buckets {
+		if buckets[i].Count > 0 {
+			buckets[i].Mean = totals[i] / time.Duration(buckets[i].Count)
+		}
+		buckets[i].Throughput = float64(buckets[i].Count) / width.Seconds()
+	}
+	return buckets
+}
+
+// String renders a summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d err=%d mean=%v p95=%v p99=%v max=%v tput=%.1f/s",
+		s.Count, s.Errors, s.Mean.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Throughput)
+}

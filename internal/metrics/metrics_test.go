@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	r := NewRecorder()
+	for _, ms := range []int{10, 20, 30, 40, 100} {
+		r.Observe(time.Duration(ms) * time.Millisecond)
+	}
+	r.ObserveError()
+	s := r.Summarize()
+	if s.Count != 5 || s.Errors != 1 {
+		t.Errorf("count/errors = %d/%d", s.Count, s.Errors)
+	}
+	if s.Mean != 40*time.Millisecond {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if s.Max != 100*time.Millisecond {
+		t.Errorf("max = %v", s.Max)
+	}
+	if s.P50 != 30*time.Millisecond {
+		t.Errorf("p50 = %v", s.P50)
+	}
+	if s.P95 != 100*time.Millisecond {
+		t.Errorf("p95 = %v", s.P95)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	r := NewRecorder()
+	s := r.Summarize()
+	if s.Count != 0 || s.Mean != 0 || s.Throughput != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	if got := r.Series(time.Second); got != nil {
+		t.Errorf("empty series: %v", got)
+	}
+}
+
+func TestSeriesBucketsByElapsedTime(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(5 * time.Millisecond)
+	r.Observe(15 * time.Millisecond)
+	time.Sleep(25 * time.Millisecond)
+	r.Observe(30 * time.Millisecond)
+	buckets := r.Series(20 * time.Millisecond)
+	if len(buckets) < 2 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Count != 2 {
+		t.Errorf("bucket0 count = %d, want 2", buckets[0].Count)
+	}
+	if buckets[0].Mean != 10*time.Millisecond {
+		t.Errorf("bucket0 mean = %v", buckets[0].Mean)
+	}
+	total := 0
+	for _, b := range buckets {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Errorf("series total = %d, want 3", total)
+	}
+	if buckets[0].Throughput != 100 { // 2 per 20ms
+		t.Errorf("bucket0 throughput = %v", buckets[0].Throughput)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Observe(time.Millisecond)
+				r.ObserveError()
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 800 || r.Errors() != 800 {
+		t.Errorf("count=%d errors=%d", r.Count(), r.Errors())
+	}
+}
+
+// TestPropertyQuantileOrdering: for random observation sets, p50 <= p95 <=
+// p99 <= max and the mean lies within [min, max].
+func TestPropertyQuantileOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := NewRecorder()
+		n := 1 + rng.Intn(200)
+		minL, maxL := time.Duration(1<<62), time.Duration(0)
+		for i := 0; i < n; i++ {
+			l := time.Duration(rng.Intn(1000)+1) * time.Microsecond
+			if l < minL {
+				minL = l
+			}
+			if l > maxL {
+				maxL = l
+			}
+			r.Observe(l)
+		}
+		s := r.Summarize()
+		return s.P50 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max &&
+			s.Mean >= minL && s.Mean <= maxL && s.Max == maxL
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(time.Millisecond)
+	if s := r.Summarize().String(); s == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,191 @@
+package mvcc
+
+import (
+	"fmt"
+	"sync"
+
+	"madeus/internal/sqlmini"
+	"madeus/internal/storage"
+)
+
+// Secondary indexes: equality indexes mapping a column value to the set of
+// primary keys whose version chains contain that value. Entries are a
+// SUPERSET of the visible truth — readers re-check visibility and the
+// predicate against the fetched row — so index maintenance never needs
+// transactional coordination: writers add entries eagerly, and stale
+// entries are swept by Vacuum.
+
+// colIndex is one secondary index.
+type colIndex struct {
+	name string
+	col  int
+
+	mu      sync.RWMutex
+	entries map[sqlmini.Value]map[sqlmini.Value]struct{} // value -> set of PKs
+}
+
+func (ix *colIndex) add(val, pk sqlmini.Value) {
+	if val.IsNull() {
+		return // NULL never matches an equality predicate
+	}
+	ix.mu.Lock()
+	set, ok := ix.entries[val]
+	if !ok {
+		set = make(map[sqlmini.Value]struct{})
+		ix.entries[val] = set
+	}
+	set[pk] = struct{}{}
+	ix.mu.Unlock()
+}
+
+func (ix *colIndex) lookup(val sqlmini.Value) []sqlmini.Value {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	set := ix.entries[val]
+	out := make([]sqlmini.Value, 0, len(set))
+	for pk := range set {
+		out = append(out, pk)
+	}
+	return out
+}
+
+// CreateIndex builds a secondary equality index over the named column. The
+// build is online: the index is registered first so concurrent writers
+// populate it, then existing chains are backfilled (duplicates are
+// harmless).
+func (tb *Table) CreateIndex(name, column string) error {
+	col := tb.Schema.ColumnIndex(column)
+	if col < 0 {
+		return fmt.Errorf("mvcc: table %s has no column %q", tb.Schema.Name, column)
+	}
+	ix := &colIndex{name: name, col: col, entries: make(map[sqlmini.Value]map[sqlmini.Value]struct{})}
+
+	tb.mu.Lock()
+	if tb.indexes == nil {
+		tb.indexes = make(map[string]*colIndex)
+	}
+	if _, dup := tb.indexes[name]; dup {
+		tb.mu.Unlock()
+		return fmt.Errorf("mvcc: index %q already exists on %s", name, tb.Schema.Name)
+	}
+	tb.indexes[name] = ix
+	chains := make(map[sqlmini.Value]*rowChain, len(tb.rows))
+	for pk, ch := range tb.rows {
+		chains[pk] = ch
+	}
+	tb.mu.Unlock()
+
+	// Backfill every version's value (any version might be visible to
+	// some snapshot).
+	for pk, ch := range chains {
+		ch.mu.Lock()
+		for i := range ch.versions {
+			ix.add(ch.versions[i].row[col], pk)
+		}
+		ch.mu.Unlock()
+	}
+	return nil
+}
+
+// DropIndex removes a secondary index.
+func (tb *Table) DropIndex(name string) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if _, ok := tb.indexes[name]; !ok {
+		return fmt.Errorf("mvcc: index %q does not exist on %s", name, tb.Schema.Name)
+	}
+	delete(tb.indexes, name)
+	return nil
+}
+
+// Indexes lists index names and their columns (dump support).
+func (tb *Table) Indexes() map[string]string {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	out := make(map[string]string, len(tb.indexes))
+	for name, ix := range tb.indexes {
+		out[name] = tb.Schema.Columns[ix.col].Name
+	}
+	return out
+}
+
+// IndexLookup returns the candidate primary keys whose chains may hold
+// value in the named COLUMN (not index name), or ok=false when no index
+// covers that column. Candidates are a superset: callers must fetch each
+// row with Get and re-apply the predicate.
+func (tb *Table) IndexLookup(column string, val sqlmini.Value) (pks []sqlmini.Value, ok bool) {
+	col := tb.Schema.ColumnIndex(column)
+	if col < 0 {
+		return nil, false
+	}
+	tb.mu.Lock()
+	var ix *colIndex
+	for _, cand := range tb.indexes {
+		if cand.col == col {
+			ix = cand
+			break
+		}
+	}
+	tb.mu.Unlock()
+	if ix == nil {
+		return nil, false
+	}
+	return ix.lookup(val), true
+}
+
+// indexAdd fans a new version's value out to all matching indexes.
+func (tb *Table) indexAdd(row storage.Row, pk sqlmini.Value) {
+	tb.mu.Lock()
+	idxs := make([]*colIndex, 0, len(tb.indexes))
+	for _, ix := range tb.indexes {
+		idxs = append(idxs, ix)
+	}
+	tb.mu.Unlock()
+	for _, ix := range idxs {
+		ix.add(row[ix.col], pk)
+	}
+}
+
+// sweepIndexes drops entries whose chains no longer contain the value in
+// any version. Called by Vacuum after version pruning.
+func (tb *Table) sweepIndexes() int {
+	tb.mu.Lock()
+	idxs := make([]*colIndex, 0, len(tb.indexes))
+	for _, ix := range tb.indexes {
+		idxs = append(idxs, ix)
+	}
+	tb.mu.Unlock()
+
+	removed := 0
+	for _, ix := range idxs {
+		ix.mu.Lock()
+		for val, set := range ix.entries {
+			for pk := range set {
+				if !tb.chainContains(pk, ix.col, val) {
+					delete(set, pk)
+					removed++
+				}
+			}
+			if len(set) == 0 {
+				delete(ix.entries, val)
+			}
+		}
+		ix.mu.Unlock()
+	}
+	return removed
+}
+
+func (tb *Table) chainContains(pk sqlmini.Value, col int, val sqlmini.Value) bool {
+	ch := tb.chain(pk, false)
+	if ch == nil {
+		return false
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	for i := range ch.versions {
+		if ch.versions[i].row[col] == val {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,328 @@
+package mvcc
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"madeus/internal/sqlmini"
+	"madeus/internal/storage"
+)
+
+// version is one physical tuple version in a row chain.
+type version struct {
+	xmin TxnID // creator
+	xmax TxnID // deleter/updater; 0 when live
+	row  storage.Row
+}
+
+// rowChain holds all versions of one logical row (one primary key) plus the
+// row write lock used for first-updater-wins. Lock ordering: Table.mu (map
+// access) is never held while a rowChain.mu is held, and at most one
+// rowChain.mu is held at a time; row-lock *waits* happen on waiter channels
+// with ch.mu released, so mutexes are never held across blocking waits.
+type rowChain struct {
+	mu        sync.Mutex
+	versions  []version
+	lockOwner TxnID
+	waiters   []chan struct{}
+}
+
+// Table is an MVCC table: a schema plus row chains keyed by primary key.
+type Table struct {
+	Schema *storage.Schema
+
+	mgr  *Manager
+	mu   sync.Mutex // guards rows map and indexes registry
+	rows map[sqlmini.Value]*rowChain
+
+	indexes map[string]*colIndex
+}
+
+// NewTable creates an empty MVCC table bound to a transaction manager.
+func NewTable(schema *storage.Schema, mgr *Manager) *Table {
+	return &Table{
+		Schema: schema,
+		mgr:    mgr,
+		rows:   make(map[sqlmini.Value]*rowChain),
+	}
+}
+
+func (tb *Table) chain(pk sqlmini.Value, create bool) *rowChain {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	ch := tb.rows[pk]
+	if ch == nil && create {
+		ch = &rowChain{}
+		tb.rows[pk] = ch
+	}
+	return ch
+}
+
+// Get returns the version of the row with primary key pk visible to t, or
+// nil when none is visible.
+func (tb *Table) Get(t *Txn, pk sqlmini.Value) storage.Row {
+	ch := tb.chain(pk, false)
+	if ch == nil {
+		return nil
+	}
+	ch.mu.Lock()
+	defer ch.mu.Unlock()
+	return ch.visibleRow(t)
+}
+
+// visibleRow returns (a clone of) the visible version in ch, newest first.
+// Caller holds ch.mu.
+func (ch *rowChain) visibleRow(t *Txn) storage.Row {
+	for i := len(ch.versions) - 1; i >= 0; i-- {
+		if t.visible(&ch.versions[i]) {
+			return ch.versions[i].row.Clone()
+		}
+	}
+	return nil
+}
+
+// Scan calls fn for every row visible to t, in primary-key order. fn
+// returning false stops the scan. Ordering is deterministic so that dumps
+// and state comparisons are stable.
+func (tb *Table) Scan(t *Txn, fn func(storage.Row) bool) error {
+	tb.mu.Lock()
+	pks := make([]sqlmini.Value, 0, len(tb.rows))
+	for pk := range tb.rows {
+		pks = append(pks, pk)
+	}
+	tb.mu.Unlock()
+	sort.Slice(pks, func(i, j int) bool {
+		c, err := pks[i].Compare(pks[j])
+		if err != nil {
+			// Mixed-kind keys cannot occur: CheckRow enforces kinds.
+			return false
+		}
+		return c < 0
+	})
+	for _, pk := range pks {
+		ch := tb.chain(pk, false)
+		if ch == nil {
+			continue
+		}
+		ch.mu.Lock()
+		row := ch.visibleRow(t)
+		ch.mu.Unlock()
+		if row != nil && !fn(row) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Len reports the number of rows visible to t.
+func (tb *Table) Len(t *Txn) int {
+	n := 0
+	tb.Scan(t, func(storage.Row) bool { n++; return true })
+	return n
+}
+
+// Insert adds a new row. It fails with ErrUniqueViolation when a visible or
+// newly committed row with the same key exists, and respects
+// first-updater-wins against a concurrent inserter of the same key.
+func (tb *Table) Insert(t *Txn, row storage.Row) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	row = tb.Schema.Coerce(row)
+	if err := tb.Schema.CheckRow(row); err != nil {
+		return err
+	}
+	pk := tb.Schema.PK(row)
+	ch := tb.chain(pk, true)
+
+	deadline := time.Now().Add(t.lockTimeout())
+	ch.mu.Lock()
+	for {
+		// Any committed version the snapshot can't see means a
+		// concurrent inserter already won.
+		if ch.committedAfter(t) {
+			ch.mu.Unlock()
+			return ErrUniqueViolation
+		}
+		if ch.visibleRow(t) != nil {
+			ch.mu.Unlock()
+			return ErrUniqueViolation
+		}
+		if ch.lockOwner == 0 || ch.lockOwner == t.ID {
+			break
+		}
+		if err := ch.waitUnlocked(t, deadline); err != nil {
+			return err
+		}
+	}
+	ch.acquire(t)
+	ch.versions = append(ch.versions, version{xmin: t.ID, row: row.Clone()})
+	ch.mu.Unlock()
+	tb.indexAdd(row, pk)
+	t.writes++
+	return nil
+}
+
+// Update replaces the visible version of the row keyed pk with newRow
+// (same primary key). It returns false when no version is visible, and
+// ErrSerialization under first-updater-wins.
+func (tb *Table) Update(t *Txn, pk sqlmini.Value, newRow storage.Row) (bool, error) {
+	return tb.write(t, pk, newRow, false)
+}
+
+// Delete removes the visible version of the row keyed pk. It returns false
+// when no version is visible.
+func (tb *Table) Delete(t *Txn, pk sqlmini.Value) (bool, error) {
+	return tb.write(t, pk, nil, true)
+}
+
+func (tb *Table) write(t *Txn, pk sqlmini.Value, newRow storage.Row, del bool) (bool, error) {
+	if t.done {
+		return false, ErrTxnDone
+	}
+	if !del {
+		newRow = tb.Schema.Coerce(newRow)
+		if err := tb.Schema.CheckRow(newRow); err != nil {
+			return false, err
+		}
+		if tb.Schema.PK(newRow) != pk {
+			return false, ErrPKImmutable
+		}
+	}
+	ch := tb.chain(pk, false)
+	if ch == nil {
+		return false, nil
+	}
+
+	deadline := time.Now().Add(t.lockTimeout())
+	ch.mu.Lock()
+	for {
+		// First-updater-wins, committed-winner path: a concurrent
+		// transaction already committed a newer version of this row.
+		if ch.committedAfter(t) {
+			ch.mu.Unlock()
+			return false, ErrSerialization
+		}
+		if ch.lockOwner == 0 || ch.lockOwner == t.ID {
+			break
+		}
+		// First-updater-wins, active-winner path: wait for the lock
+		// holder; if it commits we will see committedAfter above and
+		// abort, if it aborts we proceed.
+		if err := ch.waitUnlocked(t, deadline); err != nil {
+			return false, err
+		}
+	}
+	// Find the version visible to t and supersede it.
+	idx := -1
+	for i := len(ch.versions) - 1; i >= 0; i-- {
+		if t.visible(&ch.versions[i]) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		ch.mu.Unlock()
+		return false, nil
+	}
+	ch.acquire(t)
+	ch.versions[idx].xmax = t.ID
+	if !del {
+		ch.versions = append(ch.versions, version{xmin: t.ID, row: newRow.Clone()})
+	}
+	ch.mu.Unlock()
+	if !del {
+		tb.indexAdd(newRow, pk)
+	}
+	t.writes++
+	return true, nil
+}
+
+// ErrPKImmutable reports an attempt to change a row's primary key in place.
+var ErrPKImmutable = errPKImmutable{}
+
+type errPKImmutable struct{}
+
+func (errPKImmutable) Error() string { return "mvcc: primary key is immutable; delete and insert" }
+
+// committedAfter reports whether any version of this chain was created or
+// deleted by a transaction that committed after t's snapshot. Caller holds
+// ch.mu.
+func (ch *rowChain) committedAfter(t *Txn) bool {
+	for i := range ch.versions {
+		v := &ch.versions[i]
+		if v.xmin != t.ID {
+			if st, csn := t.mgr.statusOf(v.xmin); st == StatusCommitted && csn > t.Snapshot {
+				return true
+			}
+		}
+		if v.xmax != 0 && v.xmax != t.ID {
+			if st, csn := t.mgr.statusOf(v.xmax); st == StatusCommitted && csn > t.Snapshot {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// acquire takes the row lock for t (idempotent). Caller holds ch.mu.
+func (ch *rowChain) acquire(t *Txn) {
+	if ch.lockOwner == t.ID {
+		return
+	}
+	ch.lockOwner = t.ID
+	t.locks = append(t.locks, ch)
+}
+
+// waitUnlocked releases ch.mu, waits until the lock holder resolves or the
+// deadline passes, and reacquires ch.mu. Caller holds ch.mu on entry; on a
+// nil return the caller holds it again and must recheck all conditions.
+func (ch *rowChain) waitUnlocked(t *Txn, deadline time.Time) error {
+	wake := make(chan struct{})
+	ch.waiters = append(ch.waiters, wake)
+	ch.mu.Unlock()
+
+	wait := time.Until(deadline)
+	if wait <= 0 {
+		ch.mu.Lock()
+		ch.dropWaiter(wake)
+		ch.mu.Unlock()
+		return ErrLockTimeout
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-wake:
+		ch.mu.Lock()
+		return nil
+	case <-timer.C:
+		ch.mu.Lock()
+		ch.dropWaiter(wake)
+		ch.mu.Unlock()
+		return ErrLockTimeout
+	}
+}
+
+// dropWaiter removes a timed-out waiter channel. Caller holds ch.mu.
+func (ch *rowChain) dropWaiter(w chan struct{}) {
+	for i, x := range ch.waiters {
+		if x == w {
+			ch.waiters = append(ch.waiters[:i], ch.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// unlock releases the lock if owned by id and wakes all waiters.
+func (ch *rowChain) unlock(id TxnID) {
+	ch.mu.Lock()
+	if ch.lockOwner == id {
+		ch.lockOwner = 0
+		for _, w := range ch.waiters {
+			close(w)
+		}
+		ch.waiters = nil
+	}
+	ch.mu.Unlock()
+}

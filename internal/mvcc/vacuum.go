@@ -1,0 +1,77 @@
+package mvcc
+
+// Vacuum support: version chains grow with every update (old versions are
+// superseded, not removed, and aborted versions linger invisibly). Vacuum
+// prunes versions that no current or future snapshot can see, bounded by
+// the oldest snapshot still held by an active transaction — the same
+// horizon rule PostgreSQL's VACUUM uses.
+
+// Horizon returns the oldest snapshot any active transaction holds (or the
+// latest CSN when none are active): versions superseded at or before the
+// horizon are unreachable.
+func (m *Manager) Horizon() CSN {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	h := m.lastCSN
+	for _, st := range m.states {
+		if st.status == StatusActive && st.snap < h {
+			h = st.snap
+		}
+	}
+	return h
+}
+
+// Vacuum removes dead versions from the table: versions created by aborted
+// transactions, and versions superseded (deleted or overwritten) by a
+// transaction that committed at or before the horizon. It returns the
+// number of versions removed. Empty chains are kept (their map entries are
+// negligible and removing them would race in-flight primary-key lookups).
+func (tb *Table) Vacuum(horizon CSN) int {
+	tb.mu.Lock()
+	chains := make([]*rowChain, 0, len(tb.rows))
+	for _, ch := range tb.rows {
+		chains = append(chains, ch)
+	}
+	tb.mu.Unlock()
+
+	removed := 0
+	for _, ch := range chains {
+		ch.mu.Lock()
+		kept := ch.versions[:0]
+		for i := range ch.versions {
+			v := ch.versions[i]
+			if tb.dead(&v, horizon) {
+				removed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		// Zero the tail so dropped rows are collectable.
+		for i := len(kept); i < len(ch.versions); i++ {
+			ch.versions[i] = version{}
+		}
+		ch.versions = kept
+		ch.mu.Unlock()
+	}
+	tb.sweepIndexes()
+	return removed
+}
+
+// dead reports whether no snapshot at or after the horizon can see v.
+func (tb *Table) dead(v *version, horizon CSN) bool {
+	cst, ccsn := tb.mgr.statusOf(v.xmin)
+	switch cst {
+	case StatusAborted:
+		return true
+	case StatusActive:
+		return false
+	}
+	_ = ccsn
+	if v.xmax == 0 {
+		return false
+	}
+	dst, dcsn := tb.mgr.statusOf(v.xmax)
+	// Superseded before the horizon: every snapshot ≥ horizon sees the
+	// deleter's outcome instead of this version.
+	return dst == StatusCommitted && dcsn <= horizon
+}

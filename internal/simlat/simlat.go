@@ -1,0 +1,39 @@
+// Package simlat provides simulated latencies for the cost model.
+//
+// The kernel this reproduction typically runs on has a coarse timer tick:
+// time.Sleep rounds up to roughly a millisecond regardless of the requested
+// duration. Simulated CPU costs (hundreds of microseconds per statement)
+// therefore busy-wait — which is also the honest model: a statement's CPU
+// cost occupies the core, while an fsync (milliseconds) blocks without
+// consuming CPU and may sleep.
+package simlat
+
+import "time"
+
+// sleepFloor is the duration above which time.Sleep is accurate enough.
+const sleepFloor = 2 * time.Millisecond
+
+// CPU burns approximately d of CPU time (busy wait). Use it for costs that
+// model computation.
+func CPU(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	start := time.Now()
+	for time.Since(start) < d {
+	}
+}
+
+// IO blocks for approximately d without consuming CPU where possible. Below
+// the platform's sleep resolution it falls back to a busy wait so that
+// short I/O latencies aren't silently inflated to a timer tick.
+func IO(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= sleepFloor {
+		time.Sleep(d)
+		return
+	}
+	CPU(d)
+}

@@ -1,0 +1,46 @@
+package simlat
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCPUApproximatesDuration(t *testing.T) {
+	start := time.Now()
+	CPU(300 * time.Microsecond)
+	got := time.Since(start)
+	if got < 300*time.Microsecond {
+		t.Errorf("CPU too short: %v", got)
+	}
+	if got > 5*time.Millisecond {
+		t.Errorf("CPU way too long: %v", got)
+	}
+}
+
+func TestZeroAndNegativeNoops(t *testing.T) {
+	start := time.Now()
+	CPU(0)
+	CPU(-time.Second)
+	IO(0)
+	IO(-time.Second)
+	if time.Since(start) > time.Millisecond {
+		t.Error("noop waits took too long")
+	}
+}
+
+func TestIOShortUsesBusyWait(t *testing.T) {
+	start := time.Now()
+	IO(200 * time.Microsecond)
+	got := time.Since(start)
+	if got < 200*time.Microsecond || got > 2*time.Millisecond {
+		t.Errorf("short IO wait: %v", got)
+	}
+}
+
+func TestIOLongSleeps(t *testing.T) {
+	start := time.Now()
+	IO(5 * time.Millisecond)
+	if got := time.Since(start); got < 5*time.Millisecond {
+		t.Errorf("long IO too short: %v", got)
+	}
+}

@@ -1,0 +1,128 @@
+package sqlmini
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestClassifyQuery(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want OpClass
+	}{
+		{"SELECT * FROM t", OpRead},
+		{"  select 1 from t", OpRead},
+		{"INSERT INTO t (a) VALUES (1)", OpWrite},
+		{"update t set a = 1", OpWrite},
+		{"DELETE FROM t", OpWrite},
+		{"BEGIN", OpBegin},
+		{"begin;", OpBegin},
+		{"COMMIT", OpCommit},
+		{"ROLLBACK", OpAbort},
+		{"abort", OpAbort},
+		{"CREATE TABLE t (a INT)", OpDDL},
+		{"DROP TABLE t", OpDDL},
+		{";;  COMMIT", OpCommit},
+	}
+	for _, c := range cases {
+		got, err := ClassifyQuery(c.sql)
+		if err != nil {
+			t.Errorf("ClassifyQuery(%q): %v", c.sql, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ClassifyQuery(%q) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+func TestClassifyQueryErrors(t *testing.T) {
+	for _, sql := range []string{"", "   ", "123", "GRANT ALL"} {
+		if _, err := ClassifyQuery(sql); err == nil {
+			t.Errorf("ClassifyQuery(%q): want error", sql)
+		}
+	}
+}
+
+func TestClassifyStatement(t *testing.T) {
+	cases := []struct {
+		sql  string
+		want OpClass
+	}{
+		{"SELECT * FROM t", OpRead},
+		{"INSERT INTO t (a) VALUES (1)", OpWrite},
+		{"UPDATE t SET a = 1", OpWrite},
+		{"DELETE FROM t", OpWrite},
+		{"BEGIN", OpBegin},
+		{"COMMIT", OpCommit},
+		{"ROLLBACK", OpAbort},
+		{"CREATE TABLE t (a INT)", OpDDL},
+		{"DROP TABLE t", OpDDL},
+	}
+	for _, c := range cases {
+		st := mustParse(t, c.sql)
+		if got := ClassifyStatement(st); got != c.want {
+			t.Errorf("ClassifyStatement(%q) = %v, want %v", c.sql, got, c.want)
+		}
+	}
+}
+
+// TestClassifyAgreesWithParse property-checks that the fast path classifier
+// and the full parser agree on generated statements.
+func TestClassifyAgreesWithParse(t *testing.T) {
+	gen := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sql := randomStatementSQL(rng)
+		st, err := Parse(sql)
+		if err != nil {
+			t.Fatalf("generated unparsable SQL %q: %v", sql, err)
+		}
+		fast, err := ClassifyQuery(sql)
+		if err != nil {
+			t.Fatalf("ClassifyQuery(%q): %v", sql, err)
+		}
+		return fast == ClassifyStatement(st)
+	}
+	if err := quick.Check(gen, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomStatementSQL generates a random valid statement from the grammar.
+func randomStatementSQL(rng *rand.Rand) string {
+	tables := []string{"t", "items", "orders"}
+	tb := tables[rng.Intn(len(tables))]
+	switch rng.Intn(7) {
+	case 0:
+		return "SELECT * FROM " + tb
+	case 1:
+		return "SELECT a, b FROM " + tb + " WHERE a = " + NewInt(rng.Int63n(100)).String()
+	case 2:
+		return "INSERT INTO " + tb + " (a) VALUES (" + NewInt(rng.Int63n(100)).String() + ")"
+	case 3:
+		return "UPDATE " + tb + " SET a = a + 1 WHERE b < " + NewInt(rng.Int63n(10)).String()
+	case 4:
+		return "DELETE FROM " + tb + " WHERE a = 1"
+	case 5:
+		return []string{"BEGIN", "COMMIT", "ROLLBACK"}[rng.Intn(3)]
+	default:
+		return "CREATE TABLE x (id INT PRIMARY KEY)"
+	}
+}
+
+func BenchmarkClassifyQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := ClassifyQuery("SELECT id, name FROM users WHERE id = 42"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseSelect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("SELECT id, name FROM users WHERE id = 42 ORDER BY name LIMIT 5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

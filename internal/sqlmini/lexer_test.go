@@ -1,0 +1,148 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLexSimpleSelect(t *testing.T) {
+	toks, err := Lex("SELECT id, name FROM users WHERE id = 42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Token{
+		{TokKeyword, "SELECT", 0},
+		{TokIdent, "id", 7},
+		{TokSymbol, ",", 9},
+		{TokIdent, "name", 11},
+		{TokKeyword, "FROM", 16},
+		{TokIdent, "users", 21},
+		{TokKeyword, "WHERE", 27},
+		{TokIdent, "id", 33},
+		{TokSymbol, "=", 36},
+		{TokInt, "42", 38},
+		{TokEOF, "", 40},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d: got %+v, want %+v", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select * from t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "SELECT" {
+		t.Errorf("lowercase select: got %v", toks[0])
+	}
+	if toks[2].Kind != TokKeyword || toks[2].Text != "FROM" {
+		t.Errorf("lowercase from: got %v", toks[2])
+	}
+}
+
+func TestLexStringLiteral(t *testing.T) {
+	toks, err := Lex("'hello world'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != TokString || toks[0].Text != "hello world" {
+		t.Errorf("got %v", toks[0])
+	}
+}
+
+func TestLexStringEscapedQuote(t *testing.T) {
+	toks, err := Lex("'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" {
+		t.Errorf("got %q, want %q", toks[0].Text, "it's")
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := Lex("'oops"); err == nil {
+		t.Error("want error for unterminated string")
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 23 4.5 0.125")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []TokenKind{TokInt, TokInt, TokFloat, TokFloat, TokEOF}
+	for i, k := range wantKinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got kind %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexMalformedFloat(t *testing.T) {
+	if _, err := Lex("SELECT 4. FROM t"); err == nil {
+		t.Error("want error for malformed float")
+	}
+}
+
+func TestLexTwoCharOperators(t *testing.T) {
+	for _, op := range []string{"<=", ">=", "<>", "!="} {
+		toks, err := Lex("a " + op + " b")
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		if toks[1].Kind != TokSymbol || toks[1].Text != op {
+			t.Errorf("%s: got %v", op, toks[1])
+		}
+	}
+}
+
+func TestLexLineComment(t *testing.T) {
+	toks, err := Lex("SELECT a -- trailing comment\nFROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.Text)
+	}
+	joined := strings.Join(texts, " ")
+	if strings.Contains(joined, "comment") {
+		t.Errorf("comment not skipped: %v", toks)
+	}
+	if toks[2].Text != "FROM" {
+		t.Errorf("got %v after comment, want FROM", toks[2])
+	}
+}
+
+func TestLexMinusIsOperatorNotComment(t *testing.T) {
+	toks, err := Lex("1 - 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].Kind != TokSymbol || toks[1].Text != "-" {
+		t.Errorf("got %v, want '-'", toks[1])
+	}
+}
+
+func TestLexUnexpectedCharacter(t *testing.T) {
+	if _, err := Lex("SELECT @ FROM t"); err == nil {
+		t.Error("want error for '@'")
+	}
+}
+
+func TestLexEmptyInput(t *testing.T) {
+	toks, err := Lex("   \n\t ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 1 || toks[0].Kind != TokEOF {
+		t.Errorf("got %v, want just EOF", toks)
+	}
+}

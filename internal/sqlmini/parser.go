@@ -1,0 +1,606 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser consumes a token stream and produces statements.
+type Parser struct {
+	toks []Token
+	pos  int
+	src  string
+}
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(TokSymbol, ";")
+	if !p.at(TokEOF, "") {
+		return nil, p.errorf("trailing input after statement")
+	}
+	return st, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+
+func (p *Parser) at(kind TokenKind, text string) bool {
+	t := p.cur()
+	return t.Kind == kind && (text == "" || t.Text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *Parser) accept(kind TokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// expect consumes the current token or fails.
+func (p *Parser) expect(kind TokenKind, text string) (Token, error) {
+	if p.at(kind, text) {
+		t := p.cur()
+		p.pos++
+		return t, nil
+	}
+	want := text
+	if want == "" {
+		want = kind.String()
+	}
+	return Token{}, p.errorf("expected %s, found %s", want, p.cur())
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sqlmini: parse error at offset %d in %q: %s",
+		p.cur().Pos, p.src, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) parseStatement() (Statement, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, p.errorf("expected statement keyword")
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "BEGIN":
+		p.pos++
+		return &Begin{}, nil
+	case "COMMIT":
+		p.pos++
+		return &Commit{}, nil
+	case "ROLLBACK", "ABORT":
+		p.pos++
+		return &Rollback{}, nil
+	}
+	return nil, p.errorf("unsupported statement %q", t.Text)
+}
+
+func (p *Parser) parseIdent() (string, error) {
+	t, err := p.expect(TokIdent, "")
+	if err != nil {
+		return "", err
+	}
+	return t.Text, nil
+}
+
+func (p *Parser) parseSelect() (Statement, error) {
+	p.pos++ // SELECT
+	sel := &Select{Limit: -1}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	sel.Table = table
+	if p.accept(TokKeyword, "WHERE") {
+		sel.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(TokKeyword, "ORDER") {
+		if _, err := p.expect(TokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		sel.OrderBy, err = p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case p.accept(TokKeyword, "DESC"):
+			sel.OrderDesc = true
+		case p.accept(TokKeyword, "ASC"):
+		}
+	}
+	if p.accept(TokKeyword, "LIMIT") {
+		t, err := p.expect(TokInt, "")
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad LIMIT: %v", err)
+		}
+		sel.Limit = n
+	}
+	if p.accept(TokKeyword, "FOR") {
+		if _, err := p.expect(TokKeyword, "SHARE"); err != nil {
+			return nil, err
+		}
+		sel.ForShare = true
+	}
+	return sel, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	if p.accept(TokSymbol, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	if p.accept(TokKeyword, "COUNT") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokSymbol, "*"); err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Aggregate: "COUNT"}, nil
+	}
+	if p.accept(TokKeyword, "SUM") {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return SelectItem{}, err
+		}
+		col, err := p.parseIdent()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Aggregate: "SUM", AggArg: col}, nil
+	}
+	col, err := p.parseIdent()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Column: col}, nil
+}
+
+func (p *Parser) parseInsert() (Statement, error) {
+	p.pos++ // INSERT
+	if _, err := p.expect(TokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		ins.Columns = append(ins.Columns, col)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(TokSymbol, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if !p.accept(TokSymbol, ",") {
+				break
+			}
+		}
+		if _, err := p.expect(TokSymbol, ")"); err != nil {
+			return nil, err
+		}
+		if len(row) != len(ins.Columns) {
+			return nil, p.errorf("INSERT row has %d values, want %d", len(row), len(ins.Columns))
+		}
+		ins.Rows = append(ins.Rows, row)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	return ins, nil
+}
+
+func (p *Parser) parseUpdate() (Statement, error) {
+	p.pos++ // UPDATE
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: table}
+	if _, err := p.expect(TokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSymbol, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		upd.Set = append(upd.Set, Assignment{Column: col, Value: e})
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if p.accept(TokKeyword, "WHERE") {
+		upd.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return upd, nil
+}
+
+func (p *Parser) parseDelete() (Statement, error) {
+	p.pos++ // DELETE
+	if _, err := p.expect(TokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.accept(TokKeyword, "WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		del.Where = w
+	}
+	return del, nil
+}
+
+func (p *Parser) parseCreate() (Statement, error) {
+	p.pos++ // CREATE
+	if p.accept(TokKeyword, "INDEX") {
+		return p.parseCreateIndex()
+	}
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Table: table}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		typTok, err := p.expect(TokKeyword, "")
+		if err != nil {
+			return nil, err
+		}
+		var kind ValueKind
+		switch typTok.Text {
+		case "INT":
+			kind = KindInt
+		case "FLOAT":
+			kind = KindFloat
+		case "TEXT":
+			kind = KindText
+		case "BOOL":
+			kind = KindBool
+		default:
+			return nil, p.errorf("unknown column type %q", typTok.Text)
+		}
+		col := ColumnDef{Name: name, Type: kind}
+		if p.accept(TokKeyword, "PRIMARY") {
+			if _, err := p.expect(TokKeyword, "KEY"); err != nil {
+				return nil, err
+			}
+			col.PrimaryKey = true
+		}
+		ct.Columns = append(ct.Columns, col)
+		if !p.accept(TokSymbol, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *Parser) parseDrop() (Statement, error) {
+	p.pos++ // DROP
+	if p.accept(TokKeyword, "INDEX") {
+		name, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		table, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		return &DropIndex{Name: name, Table: table}, nil
+	}
+	if _, err := p.expect(TokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Table: table}, nil
+}
+
+func (p *Parser) parseCreateIndex() (Statement, error) {
+	name, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokKeyword, "ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, "("); err != nil {
+		return nil, err
+	}
+	col, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokSymbol, ")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndex{Name: name, Table: table, Column: col}, nil
+}
+
+// Expression grammar, loosest to tightest binding:
+//
+//	expr   := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add ((=|<>|!=|<|<=|>|>=) add)?
+//	add    := mul ((+|-) mul)*
+//	mul    := unary ((*|/) unary)*
+//	unary  := - unary | primary
+//	primary:= literal | ident | ( expr )
+func (p *Parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(TokKeyword, "AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.accept(TokKeyword, "NOT") {
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+var cmpOps = map[string]BinaryOp{
+	"=": OpEq, "<>": OpNe, "!=": OpNe,
+	"<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe,
+}
+
+func (p *Parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().Kind == TokSymbol {
+		if op, ok := cmpOps[p.cur().Text]; ok {
+			p.pos++
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "+"):
+			op = OpAdd
+		case p.accept(TokSymbol, "-"):
+			op = OpSub
+		default:
+			return l, nil
+		}
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op BinaryOp
+		switch {
+		case p.accept(TokSymbol, "*"):
+			op = OpMul
+		case p.accept(TokSymbol, "/"):
+			op = OpDiv
+		default:
+			return l, nil
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	if p.accept(TokSymbol, "-") {
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Neg{E: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal: %v", err)
+		}
+		return &Literal{Val: NewInt(n)}, nil
+	case TokFloat:
+		p.pos++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal: %v", err)
+		}
+		return &Literal{Val: NewFloat(f)}, nil
+	case TokString:
+		p.pos++
+		return &Literal{Val: NewText(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: Null()}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Val: NewBool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Val: NewBool(false)}, nil
+		}
+	case TokIdent:
+		p.pos++
+		return &ColumnRef{Name: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSymbol, ")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errorf("expected expression")
+}

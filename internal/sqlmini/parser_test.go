@@ -1,0 +1,304 @@
+package sqlmini
+
+import (
+	"testing"
+)
+
+func mustParse(t *testing.T, sql string) Statement {
+	t.Helper()
+	st, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return st
+}
+
+func TestParseSelectStar(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM items")
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if !sel.Items[0].Star || sel.Table != "items" {
+		t.Errorf("got %+v", sel)
+	}
+	if sel.Limit != -1 {
+		t.Errorf("Limit = %d, want -1", sel.Limit)
+	}
+}
+
+func TestParseSelectColumnsWhereOrderLimit(t *testing.T) {
+	st := mustParse(t, "SELECT id, title FROM items WHERE cost > 10 AND stock <= 5 ORDER BY title DESC LIMIT 3")
+	sel := st.(*Select)
+	if len(sel.Items) != 2 || sel.Items[0].Column != "id" || sel.Items[1].Column != "title" {
+		t.Errorf("items: %+v", sel.Items)
+	}
+	if sel.OrderBy != "title" || !sel.OrderDesc || sel.Limit != 3 {
+		t.Errorf("order/limit: %+v", sel)
+	}
+	b, ok := sel.Where.(*Binary)
+	if !ok || b.Op != OpAnd {
+		t.Fatalf("where: %v", sel.Where)
+	}
+}
+
+func TestParseSelectCount(t *testing.T) {
+	st := mustParse(t, "SELECT COUNT(*) FROM orders WHERE status = 'open'")
+	sel := st.(*Select)
+	if sel.Items[0].Aggregate != "COUNT" {
+		t.Errorf("got %+v", sel.Items[0])
+	}
+}
+
+func TestParseSelectSum(t *testing.T) {
+	st := mustParse(t, "SELECT SUM(qty) FROM order_line WHERE o_id = 7")
+	sel := st.(*Select)
+	if sel.Items[0].Aggregate != "SUM" || sel.Items[0].AggArg != "qty" {
+		t.Errorf("got %+v", sel.Items[0])
+	}
+}
+
+func TestParseSelectForShare(t *testing.T) {
+	st := mustParse(t, "SELECT id FROM t WHERE id = 1 FOR SHARE")
+	sel := st.(*Select)
+	if !sel.ForShare {
+		t.Error("ForShare not set")
+	}
+}
+
+func TestParseInsertSingleRow(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a, b) VALUES (1, 'x')")
+	ins := st.(*Insert)
+	if ins.Table != "t" || len(ins.Columns) != 2 || len(ins.Rows) != 1 {
+		t.Fatalf("got %+v", ins)
+	}
+	lit := ins.Rows[0][1].(*Literal)
+	if lit.Val.Str != "x" {
+		t.Errorf("got %v", lit.Val)
+	}
+}
+
+func TestParseInsertMultiRow(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a) VALUES (1), (2), (3)")
+	ins := st.(*Insert)
+	if len(ins.Rows) != 3 {
+		t.Errorf("got %d rows", len(ins.Rows))
+	}
+}
+
+func TestParseInsertArityMismatch(t *testing.T) {
+	if _, err := Parse("INSERT INTO t (a, b) VALUES (1)"); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	st := mustParse(t, "UPDATE items SET stock = stock - 1, cost = 2.5 WHERE id = 9")
+	upd := st.(*Update)
+	if upd.Table != "items" || len(upd.Set) != 2 {
+		t.Fatalf("got %+v", upd)
+	}
+	if upd.Set[0].Column != "stock" {
+		t.Errorf("got %+v", upd.Set[0])
+	}
+	if _, ok := upd.Set[0].Value.(*Binary); !ok {
+		t.Errorf("want binary expr, got %T", upd.Set[0].Value)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM cart WHERE c_id = 3")
+	del := st.(*Delete)
+	if del.Table != "cart" || del.Where == nil {
+		t.Errorf("got %+v", del)
+	}
+}
+
+func TestParseDeleteNoWhere(t *testing.T) {
+	st := mustParse(t, "DELETE FROM cart")
+	del := st.(*Delete)
+	if del.Where != nil {
+		t.Errorf("got %+v", del)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE items (id INT PRIMARY KEY, title TEXT, cost FLOAT, active BOOL)")
+	ct := st.(*CreateTable)
+	if ct.Table != "items" || len(ct.Columns) != 4 {
+		t.Fatalf("got %+v", ct)
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type != KindInt {
+		t.Errorf("pk col: %+v", ct.Columns[0])
+	}
+	if ct.Columns[2].Type != KindFloat || ct.Columns[3].Type != KindBool {
+		t.Errorf("types: %+v", ct.Columns)
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	st := mustParse(t, "CREATE INDEX items_title ON items (title)")
+	ci := st.(*CreateIndex)
+	if ci.Name != "items_title" || ci.Table != "items" || ci.Column != "title" {
+		t.Errorf("got %+v", ci)
+	}
+	if _, err := Parse("CREATE INDEX ix ON t"); err == nil {
+		t.Error("missing column list: want error")
+	}
+	if _, err := Parse("CREATE INDEX ON t (a)"); err == nil {
+		t.Error("missing name: want error")
+	}
+}
+
+func TestParseDropIndex(t *testing.T) {
+	st := mustParse(t, "DROP INDEX ix ON items")
+	di := st.(*DropIndex)
+	if di.Name != "ix" || di.Table != "items" {
+		t.Errorf("got %+v", di)
+	}
+	if _, err := Parse("DROP INDEX ix"); err == nil {
+		t.Error("missing ON: want error")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	st := mustParse(t, "DROP TABLE items")
+	if st.(*DropTable).Table != "items" {
+		t.Errorf("got %+v", st)
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*Commit); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK").(*Rollback); !ok {
+		t.Error("ROLLBACK")
+	}
+	if _, ok := mustParse(t, "ABORT").(*Rollback); !ok {
+		t.Error("ABORT")
+	}
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "BEGIN;")
+	mustParse(t, "SELECT * FROM t;")
+}
+
+func TestParseTrailingGarbage(t *testing.T) {
+	if _, err := Parse("BEGIN BEGIN"); err == nil {
+		t.Error("want error for trailing input")
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE a = 1 + 2 * 3 OR b = 4 AND c = 5")
+	sel := st.(*Select)
+	// Expect OR at the top: (a = (1 + (2*3))) OR ((b=4) AND (c=5)).
+	or, ok := sel.Where.(*Binary)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top: %v", sel.Where)
+	}
+	and, ok := or.R.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR: %v", or.R)
+	}
+	eq := or.L.(*Binary)
+	if eq.Op != OpEq {
+		t.Fatalf("left of OR: %v", or.L)
+	}
+	add := eq.R.(*Binary)
+	if add.Op != OpAdd {
+		t.Fatalf("rhs of =: %v", eq.R)
+	}
+	if mul := add.R.(*Binary); mul.Op != OpMul {
+		t.Fatalf("mul binds tighter: %v", add.R)
+	}
+}
+
+func TestParseParenthesesOverridePrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE a = (1 + 2) * 3")
+	sel := st.(*Select)
+	eq := sel.Where.(*Binary)
+	mul := eq.R.(*Binary)
+	if mul.Op != OpMul {
+		t.Fatalf("got %v", eq.R)
+	}
+	if add := mul.L.(*Binary); add.Op != OpAdd {
+		t.Fatalf("got %v", mul.L)
+	}
+}
+
+func TestParseNotAndNegation(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM t WHERE NOT a = -1")
+	sel := st.(*Select)
+	n, ok := sel.Where.(*Not)
+	if !ok {
+		t.Fatalf("got %T", sel.Where)
+	}
+	eq := n.E.(*Binary)
+	if _, ok := eq.R.(*Neg); !ok {
+		t.Fatalf("got %T", eq.R)
+	}
+}
+
+func TestParseNullTrueFalseLiterals(t *testing.T) {
+	st := mustParse(t, "INSERT INTO t (a, b, c) VALUES (NULL, TRUE, FALSE)")
+	ins := st.(*Insert)
+	row := ins.Rows[0]
+	if !row[0].(*Literal).Val.IsNull() {
+		t.Error("NULL")
+	}
+	if !row[1].(*Literal).Val.Bool {
+		t.Error("TRUE")
+	}
+	if row[2].(*Literal).Val.Bool {
+		t.Error("FALSE")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FLY TO t",
+		"SELECT FROM t",
+		"SELECT * FORM t",
+		"INSERT INTO t VALUES (1)",
+		"UPDATE t",
+		"CREATE TABLE t (a BLOB)",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t LIMIT x",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Errorf("Parse(%q): want error", sql)
+		}
+	}
+}
+
+// TestParseRoundTrip verifies String() output reparses to the same String().
+func TestParseRoundTrip(t *testing.T) {
+	inputs := []string{
+		"SELECT * FROM t",
+		"SELECT id, name FROM users WHERE id = 42 ORDER BY name LIMIT 10",
+		"SELECT COUNT(*) FROM t WHERE a = 'x''y'",
+		"INSERT INTO t (a, b) VALUES (1, 'two'), (3, 'four')",
+		"UPDATE t SET a = a + 1 WHERE b <> 2",
+		"DELETE FROM t WHERE a >= 1.5",
+		"CREATE TABLE t (id INT PRIMARY KEY, v TEXT)",
+		"CREATE INDEX ix ON t (v)",
+		"DROP INDEX ix ON t",
+		"DROP TABLE t",
+		"BEGIN", "COMMIT", "ROLLBACK",
+	}
+	for _, sql := range inputs {
+		st1 := mustParse(t, sql)
+		st2 := mustParse(t, st1.String())
+		if st1.String() != st2.String() {
+			t.Errorf("round trip %q: %q != %q", sql, st1.String(), st2.String())
+		}
+	}
+}

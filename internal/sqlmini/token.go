@@ -1,0 +1,81 @@
+// Package sqlmini implements the SQL subset understood by the Madeus
+// middleware and by the embedded DBMS engine.
+//
+// The middleware only needs to parse operations far enough to classify them
+// (first read, read, write, commit, abort) and to relay them verbatim; the
+// engine needs a full parse to execute them. Both share this package.
+//
+// Supported statements:
+//
+//	CREATE TABLE t (col TYPE [PRIMARY KEY], ...)
+//	DROP TABLE t
+//	INSERT INTO t (c1, c2, ...) VALUES (v1, v2, ...)[, (...), ...]
+//	SELECT c1, c2 | * | COUNT(*) | SUM(c) FROM t [WHERE expr]
+//	       [ORDER BY col [ASC|DESC]] [LIMIT n]
+//	UPDATE t SET c1 = expr [, ...] [WHERE expr]
+//	DELETE FROM t [WHERE expr]
+//	BEGIN | COMMIT | ROLLBACK | ABORT
+package sqlmini
+
+import "fmt"
+
+// TokenKind identifies the lexical class of a token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // punctuation and operators: ( ) , * = <> != < <= > >= + - / ;
+)
+
+func (k TokenKind) String() string {
+	switch k {
+	case TokEOF:
+		return "EOF"
+	case TokIdent:
+		return "identifier"
+	case TokKeyword:
+		return "keyword"
+	case TokInt:
+		return "integer"
+	case TokFloat:
+		return "float"
+	case TokString:
+		return "string"
+	case TokSymbol:
+		return "symbol"
+	}
+	return fmt.Sprintf("TokenKind(%d)", int(k))
+}
+
+// Token is a single lexical token with its position in the input.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep their case
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "EOF"
+	}
+	return fmt.Sprintf("%s %q", t.Kind, t.Text)
+}
+
+// keywords is the set of reserved words. Matching is case-insensitive.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"PRIMARY": true, "KEY": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "ABORT": true, "AND": true, "OR": true, "NOT": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"COUNT": true, "SUM": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"INT": true, "FLOAT": true, "TEXT": true, "BOOL": true,
+	"FOR": true, "SHARE": true, "INDEX": true, "ON": true,
+}

@@ -1,0 +1,172 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind enumerates the runtime types of SQL values.
+type ValueKind int
+
+// Value kinds.
+const (
+	KindNull ValueKind = iota
+	KindInt
+	KindFloat
+	KindText
+	KindBool
+)
+
+func (k ValueKind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindText:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	}
+	return fmt.Sprintf("ValueKind(%d)", int(k))
+}
+
+// Value is a SQL runtime value. The zero value is NULL. Value is comparable
+// and therefore usable as a map key (e.g. primary-key indexes).
+type Value struct {
+	Kind  ValueKind
+	Int   int64
+	Float float64
+	Str   string
+	Bool  bool
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// NewInt returns an INT value.
+func NewInt(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// NewFloat returns a FLOAT value.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// NewText returns a TEXT value.
+func NewText(v string) Value { return Value{Kind: KindText, Str: v} }
+
+// NewBool returns a BOOL value.
+func NewBool(v bool) Value { return Value{Kind: KindBool, Bool: v} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// String renders v as a SQL literal.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.Float, 'g', -1, 64)
+	case KindText:
+		return quoteSQL(v.Str)
+	case KindBool:
+		if v.Bool {
+			return "TRUE"
+		}
+		return "FALSE"
+	}
+	return "?"
+}
+
+// quoteSQL renders s as a single-quoted SQL string literal.
+func quoteSQL(s string) string {
+	out := make([]byte, 0, len(s)+2)
+	out = append(out, '\'')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\'' {
+			out = append(out, '\'', '\'')
+		} else {
+			out = append(out, s[i])
+		}
+	}
+	out = append(out, '\'')
+	return string(out)
+}
+
+// AsFloat converts numeric values to float64 for mixed-type arithmetic.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.Int), true
+	case KindFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// Compare orders two values of the same (or numeric-compatible) kind.
+// It returns -1, 0, or +1, and an error when the kinds are incomparable.
+// NULL compares less than every non-NULL value (used for ORDER BY only;
+// WHERE-clause comparisons with NULL yield no match, handled by the engine).
+func (v Value) Compare(o Value) (int, error) {
+	if v.IsNull() || o.IsNull() {
+		switch {
+		case v.IsNull() && o.IsNull():
+			return 0, nil
+		case v.IsNull():
+			return -1, nil
+		default:
+			return 1, nil
+		}
+	}
+	if v.Kind != o.Kind {
+		vf, vok := v.AsFloat()
+		of, ook := o.AsFloat()
+		if vok && ook {
+			return cmpFloat(vf, of), nil
+		}
+		return 0, fmt.Errorf("sqlmini: cannot compare %s with %s", v.Kind, o.Kind)
+	}
+	switch v.Kind {
+	case KindInt:
+		switch {
+		case v.Int < o.Int:
+			return -1, nil
+		case v.Int > o.Int:
+			return 1, nil
+		}
+		return 0, nil
+	case KindFloat:
+		return cmpFloat(v.Float, o.Float), nil
+	case KindText:
+		switch {
+		case v.Str < o.Str:
+			return -1, nil
+		case v.Str > o.Str:
+			return 1, nil
+		}
+		return 0, nil
+	case KindBool:
+		switch {
+		case !v.Bool && o.Bool:
+			return -1, nil
+		case v.Bool && !o.Bool:
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("sqlmini: cannot compare %s values", v.Kind)
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

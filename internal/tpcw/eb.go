@@ -1,0 +1,274 @@
+package tpcw
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"madeus/internal/metrics"
+	"madeus/internal/wire"
+)
+
+// EB is one emulated browser: a closed-loop client that issues one
+// interaction, waits for the response, thinks, and repeats (Sec 5.1).
+type EB struct {
+	// ID distinguishes browsers; it namespaces the primary keys an EB
+	// generates (orders, order lines, cart slots).
+	ID int
+	// Mix selects the browse/order profile.
+	Mix Mix
+	// Scale must match the loaded database.
+	Scale Scale
+	// Think is the mean think time between interactions. The paper uses
+	// TPC-W's think times (seconds); scaled runs use milliseconds.
+	// Actual think is uniform in [0.5, 1.5) x Think.
+	Think time.Duration
+	// Seed fixes the browser's private generator; 0 derives it from ID.
+	Seed int64
+
+	rng       *rand.Rand
+	seq       int
+	lastOrder int
+}
+
+// Run drives the browser against conn until ctx is cancelled. Successful
+// interactions record their latency in rec; aborted interactions (e.g.
+// first-updater-wins conflicts) count as errors and the browser retries
+// with a fresh interaction. Run returns nil on cancellation and an error
+// only on transport failure.
+func (eb *EB) Run(ctx context.Context, conn Execer, rec *metrics.Recorder) error {
+	seed := eb.Seed
+	if seed == 0 {
+		seed = int64(eb.ID + 1)
+	}
+	eb.rng = rand.New(rand.NewSource(seed))
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		default:
+		}
+		it := eb.pick()
+		start := time.Now()
+		err := eb.interact(conn, it)
+		switch {
+		case err == nil:
+			rec.Observe(time.Since(start))
+		case !wire.IsTransportError(err):
+			// The transaction failed server-side (commonly a
+			// first-updater-wins serialization abort); roll back
+			// and move on to the next interaction.
+			conn.Exec("ROLLBACK") //nolint:errcheck
+			rec.ObserveError()
+		default:
+			if ctx.Err() != nil {
+				return nil // shutdown race: connection torn down
+			}
+			return fmt.Errorf("tpcw: EB %d: %w", eb.ID, err)
+		}
+		if eb.Think > 0 {
+			d := eb.Think/2 + time.Duration(eb.rng.Int63n(int64(eb.Think)))
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(d):
+			}
+		}
+	}
+}
+
+// pick selects the next interaction per the mix.
+func (eb *EB) pick() interaction {
+	if eb.rng.Intn(100) < eb.Mix.UpdatePct {
+		return pickWeighted(eb.rng, updateWeights)
+	}
+	return pickWeighted(eb.rng, readWeights)
+}
+
+func pickWeighted(rng *rand.Rand, table []struct {
+	i interaction
+	w int
+}) interaction {
+	total := 0
+	for _, e := range table {
+		total += e.w
+	}
+	n := rng.Intn(total)
+	for _, e := range table {
+		if n < e.w {
+			return e.i
+		}
+		n -= e.w
+	}
+	return table[len(table)-1].i
+}
+
+func (eb *EB) item() int     { return eb.rng.Intn(eb.Scale.Items) }
+func (eb *EB) customer() int { return eb.rng.Intn(eb.Scale.Customers) }
+
+// nextID returns a unique EB-namespaced primary key.
+func (eb *EB) nextID() int {
+	eb.seq++
+	return eb.ID*10_000_000 + eb.seq
+}
+
+// interact executes one interaction as one explicit transaction whose first
+// operation is always a read (the no-blind-write assumption).
+func (eb *EB) interact(c Execer, it interaction) error {
+	switch it {
+	case iHome:
+		return eb.txn(c,
+			fmt.Sprintf("SELECT c_uname, c_discount FROM customer WHERE c_id = %d", eb.customer()),
+			fmt.Sprintf("SELECT i_title, i_cost FROM item WHERE i_id = %d", eb.item()),
+		)
+	case iProductDetail:
+		i := eb.item()
+		return eb.txn(c,
+			fmt.Sprintf("SELECT i_title, i_a_id, i_cost, i_stock FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("SELECT a_fname, a_lname FROM author WHERE a_id = %d", i%maxInt(eb.Scale.Authors, 1)),
+		)
+	case iSearch:
+		subject := subjects[eb.rng.Intn(len(subjects))]
+		return eb.txn(c,
+			fmt.Sprintf("SELECT i_id, i_title FROM item WHERE i_subject = '%s' LIMIT 20", subject),
+		)
+	case iBestSellers:
+		return eb.txn(c,
+			"SELECT i_id, i_title, i_stock FROM item ORDER BY i_stock DESC LIMIT 10",
+		)
+	case iOrderInquiry:
+		o := eb.lastOrder
+		if o == 0 {
+			o = eb.nextID() - 1 // probe a plausible id; empty result is fine
+		}
+		return eb.txn(c,
+			fmt.Sprintf("SELECT o_total, o_status FROM orders WHERE o_id = %d", o),
+			fmt.Sprintf("SELECT ol_i_id, ol_qty FROM order_line WHERE ol_id = %d", o),
+		)
+	case iShoppingCart:
+		i := eb.item()
+		slot := eb.ID*1000 + eb.seq%40 // bounded private cart slots
+		eb.seq++
+		// TPC-W's cart interaction re-renders the cart page: several
+		// reads surround the one slot update. The read-heavy shape
+		// matters: it is why stripping non-first reads (MIN) shrinks
+		// syncsets so much.
+		return eb.txn(c,
+			fmt.Sprintf("SELECT i_cost, i_stock FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("SELECT i_title, i_subject FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("SELECT sc_i_id, sc_qty FROM cart WHERE sc_id = %d", slot),
+			fmt.Sprintf("DELETE FROM cart WHERE sc_id = %d", slot),
+			fmt.Sprintf("INSERT INTO cart (sc_id, sc_c_id, sc_i_id, sc_qty) VALUES (%d, %d, %d, %d)",
+				slot, eb.customer(), i, 1+eb.rng.Intn(3)),
+			fmt.Sprintf("SELECT sc_i_id, sc_qty FROM cart WHERE sc_id = %d", slot),
+		)
+	case iBuyConfirm:
+		return eb.buyConfirm(c)
+	case iAdminUpdate:
+		i := eb.item()
+		return eb.txn(c,
+			fmt.Sprintf("SELECT i_cost FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("SELECT i_title, i_subject, i_stock FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("UPDATE item SET i_cost = %d.%02d WHERE i_id = %d",
+				1+eb.rng.Intn(99), eb.rng.Intn(100), i),
+		)
+	}
+	return fmt.Errorf("tpcw: unknown interaction %v", it)
+}
+
+// buyConfirm is the heaviest update transaction: read the customer, pick
+// 1-3 items, decrement stock (restocking below the threshold, as TPC-W
+// does), and insert the order with its lines.
+func (eb *EB) buyConfirm(c Execer) error {
+	cid := eb.customer()
+	nItems := 1 + eb.rng.Intn(3)
+	oid := eb.nextID()
+
+	// TPC-W's buy-confirm renders customer, address, and item details
+	// before touching stock: reads dominate the statement count even in
+	// the heaviest update transaction.
+	stmts := []string{
+		fmt.Sprintf("SELECT c_discount FROM customer WHERE c_id = %d", cid),
+		fmt.Sprintf("SELECT c_uname, c_since FROM customer WHERE c_id = %d", cid),
+	}
+	total := 0
+	for k := 0; k < nItems; k++ {
+		i := eb.item()
+		stmts = append(stmts,
+			fmt.Sprintf("SELECT i_cost, i_stock FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("SELECT i_title, i_a_id FROM item WHERE i_id = %d", i),
+			fmt.Sprintf("UPDATE item SET i_stock = i_stock - 1 WHERE i_id = %d", i),
+		)
+		if eb.rng.Intn(10) == 0 {
+			// TPC-W restock rule, kept relative so replay stays
+			// deterministic.
+			stmts = append(stmts,
+				fmt.Sprintf("UPDATE item SET i_stock = i_stock + 21 WHERE i_id = %d AND i_stock < 10", i))
+		}
+		total += 10 + k
+	}
+	stmts = append(stmts,
+		fmt.Sprintf("INSERT INTO orders (o_id, o_c_id, o_date, o_total, o_status) VALUES (%d, %d, %d, %d.0, 'pending')",
+			oid, cid, 20150531, total))
+	for k := 0; k < nItems; k++ {
+		stmts = append(stmts,
+			fmt.Sprintf("INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty) VALUES (%d, %d, %d, 1)",
+				oid*10+k, oid, eb.item()))
+	}
+	if err := eb.txn(c, stmts...); err != nil {
+		return err
+	}
+	eb.lastOrder = oid
+	return nil
+}
+
+// txn wraps stmts in BEGIN/COMMIT. On a server-side failure it returns the
+// server error so the caller rolls back.
+func (eb *EB) txn(c Execer, stmts ...string) error {
+	if _, err := c.Exec("BEGIN"); err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if _, err := c.Exec(s); err != nil {
+			return err
+		}
+	}
+	res, err := c.Exec("COMMIT")
+	if err != nil {
+		return err
+	}
+	if res.Tag != "COMMIT" {
+		return &wire.ServerError{Msg: "tpcw: transaction rolled back"}
+	}
+	return nil
+}
+
+// RunFleet launches n EBs against dial'd connections and blocks until ctx
+// ends. dial opens a fresh connection per EB. It returns the first
+// transport error, if any.
+func RunFleet(ctx context.Context, n int, mix Mix, scale Scale, think time.Duration,
+	dial func() (Execer, error), rec *metrics.Recorder) error {
+	errc := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(id int) {
+			conn, err := dial()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if closer, ok := conn.(interface{ Close() error }); ok {
+				defer closer.Close()
+			}
+			eb := &EB{ID: id + 1, Mix: mix, Scale: scale, Think: think}
+			errc <- eb.Run(ctx, conn, rec)
+		}(i)
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,70 @@
+package tpcw
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// loadBatch is the number of rows per INSERT during population.
+const loadBatch = 100
+
+// Load creates the bookstore schema and populates it to the given scale.
+// Data is deterministic for a given scale (seeded generator) so repeated
+// runs are comparable.
+func Load(c Execer, s Scale) error {
+	for _, ddl := range tables {
+		if _, err := c.Exec(ddl); err != nil {
+			return fmt.Errorf("tpcw: load DDL: %w", err)
+		}
+	}
+	rng := rand.New(rand.NewSource(20150531)) // SIGMOD'15 opening day
+
+	if err := batchInsert(c, "author", "a_id, a_fname, a_lname", s.Authors, func(i int) string {
+		return fmt.Sprintf("(%d, 'fname%d', 'lname%d')", i, rng.Intn(1000), rng.Intn(1000))
+	}); err != nil {
+		return err
+	}
+	if err := batchInsert(c, "customer", "c_id, c_uname, c_discount, c_since", s.Customers, func(i int) string {
+		return fmt.Sprintf("(%d, 'user%d', %d.%02d, %d)", i, i, rng.Intn(50)/10, rng.Intn(100), 2015)
+	}); err != nil {
+		return err
+	}
+	if err := batchInsert(c, "item", "i_id, i_title, i_a_id, i_subject, i_cost, i_stock", s.Items, func(i int) string {
+		return fmt.Sprintf("(%d, 'title %d %d', %d, '%s', %d.%02d, %d)",
+			i, i, rng.Intn(10000), rng.Intn(maxInt(s.Authors, 1)),
+			subjects[rng.Intn(len(subjects))], 1+rng.Intn(99), rng.Intn(100),
+			10+rng.Intn(90))
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func batchInsert(c Execer, table, cols string, n int, row func(i int) string) error {
+	for base := 0; base < n; base += loadBatch {
+		var sb strings.Builder
+		sb.WriteString("INSERT INTO ")
+		sb.WriteString(table)
+		sb.WriteString(" (")
+		sb.WriteString(cols)
+		sb.WriteString(") VALUES ")
+		for i := base; i < base+loadBatch && i < n; i++ {
+			if i > base {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(row(i))
+		}
+		if _, err := c.Exec(sb.String()); err != nil {
+			return fmt.Errorf("tpcw: load %s: %w", table, err)
+		}
+	}
+	return nil
+}

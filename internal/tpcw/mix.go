@@ -1,0 +1,75 @@
+package tpcw
+
+// Mix is one TPC-W browse/order profile: the percentage of interactions
+// that update the database (Sec 5.1: browsing 5%, shopping 20%, ordering
+// 50%).
+type Mix struct {
+	Name      string
+	UpdatePct int
+}
+
+// The three standard profiles.
+var (
+	Browsing = Mix{Name: "browsing", UpdatePct: 5}
+	Shopping = Mix{Name: "shopping", UpdatePct: 20}
+	Ordering = Mix{Name: "ordering", UpdatePct: 50}
+)
+
+// Mixes lists the profiles.
+func Mixes() []Mix { return []Mix{Browsing, Shopping, Ordering} }
+
+// interaction identifies one TPC-W web interaction.
+type interaction int
+
+const (
+	iHome interaction = iota
+	iProductDetail
+	iSearch
+	iBestSellers
+	iOrderInquiry
+	iShoppingCart
+	iBuyConfirm
+	iAdminUpdate
+)
+
+func (i interaction) String() string {
+	switch i {
+	case iHome:
+		return "Home"
+	case iProductDetail:
+		return "ProductDetail"
+	case iSearch:
+		return "Search"
+	case iBestSellers:
+		return "BestSellers"
+	case iOrderInquiry:
+		return "OrderInquiry"
+	case iShoppingCart:
+		return "ShoppingCart"
+	case iBuyConfirm:
+		return "BuyConfirm"
+	case iAdminUpdate:
+		return "AdminUpdate"
+	}
+	return "?"
+}
+
+// readOnly reports whether the interaction only reads.
+func (i interaction) readOnly() bool { return i < iShoppingCart }
+
+// weighted tables for picking within the read-only and update classes.
+var (
+	readWeights = []struct {
+		i interaction
+		w int
+	}{
+		{iHome, 30}, {iProductDetail, 30}, {iSearch, 20},
+		{iBestSellers, 10}, {iOrderInquiry, 10},
+	}
+	updateWeights = []struct {
+		i interaction
+		w int
+	}{
+		{iShoppingCart, 40}, {iBuyConfirm, 40}, {iAdminUpdate, 20},
+	}
+)

@@ -1,0 +1,100 @@
+// Package tpcw implements a TPC-W-style online-bookstore workload: the
+// schema, a scaled data loader, the three browse/order mixes, and emulated
+// browsers (EBs), matching how the paper evaluates Madeus (Sec 5.1-5.2).
+//
+// Differences from the full TPC-W kit are deliberate and documented in
+// DESIGN.md: there is no HTTP/application-server tier (EBs speak the wire
+// protocol directly; Tomcat is not part of the paper's contribution), the
+// schema keeps the tables the interactions touch, and scales are reduced so
+// experiments complete in seconds. Two workload properties the paper's
+// results depend on are preserved: interactions are read-heavy with a
+// tunable update ratio per mix, and every transaction begins with a read
+// (no blind writes, Sec 3.1). Update statements either write literals
+// computed by the browser or update rows relative to themselves, which
+// keeps query-based replay deterministic for all four propagation
+// strategies.
+package tpcw
+
+import (
+	"fmt"
+
+	"madeus/internal/engine"
+)
+
+// Execer executes one SQL statement — satisfied by *wire.Client and
+// *engine.Session.
+type Execer interface {
+	Exec(sql string) (*engine.Result, error)
+}
+
+// tables is the bookstore DDL, in load order.
+var tables = []string{
+	"CREATE TABLE author (a_id INT PRIMARY KEY, a_fname TEXT, a_lname TEXT)",
+	"CREATE TABLE customer (c_id INT PRIMARY KEY, c_uname TEXT, c_discount FLOAT, c_since INT)",
+	"CREATE TABLE item (i_id INT PRIMARY KEY, i_title TEXT, i_a_id INT, i_subject TEXT, i_cost FLOAT, i_stock INT)",
+	"CREATE TABLE orders (o_id INT PRIMARY KEY, o_c_id INT, o_date INT, o_total FLOAT, o_status TEXT)",
+	"CREATE TABLE order_line (ol_id INT PRIMARY KEY, ol_o_id INT, ol_i_id INT, ol_qty INT)",
+	"CREATE TABLE cart (sc_id INT PRIMARY KEY, sc_c_id INT, sc_i_id INT, sc_qty INT)",
+}
+
+// subjects mirrors TPC-W's 24 book subjects.
+var subjects = []string{
+	"ARTS", "BIOGRAPHIES", "BUSINESS", "CHILDREN", "COMPUTERS", "COOKING",
+	"HEALTH", "HISTORY", "HOME", "HUMOR", "LITERATURE", "MYSTERY",
+	"NON-FICTION", "PARENTING", "POLITICS", "REFERENCE", "RELIGION",
+	"ROMANCE", "SELF-HELP", "SCIENCE-NATURE", "SCIENCE-FICTION", "SPORTS",
+	"YOUTH", "TRAVEL",
+}
+
+// Scale sizes the generated database.
+type Scale struct {
+	Items     int
+	Customers int
+	Authors   int
+}
+
+// ScaleFor derives a Scale from the TPC-W parameters the paper uses
+// (items and emulated browsers, Table 3), shrunk by factor so experiments
+// run at laptop scale. TPC-W populates 2880 customers per EB; factor
+// divides both populations.
+func ScaleFor(items, ebs, factor int) Scale {
+	if factor < 1 {
+		factor = 1
+	}
+	s := Scale{
+		Items:     items / factor,
+		Customers: 2880 * ebs / factor,
+		Authors:   items / factor / 4,
+	}
+	if s.Items < 20 {
+		s.Items = 20
+	}
+	if s.Customers < 20 {
+		s.Customers = 20
+	}
+	if s.Authors < 5 {
+		s.Authors = 5
+	}
+	return s
+}
+
+// approximate row widths in bytes, used only to report the emulated
+// database size the way Table 3 does.
+const (
+	itemRowBytes     = 110
+	customerRowBytes = 60
+	authorRowBytes   = 40
+)
+
+// EstimatedBytes reports the approximate loaded size, the analogue of
+// Table 3's "database size" column.
+func (s Scale) EstimatedBytes() int64 {
+	return int64(s.Items)*itemRowBytes +
+		int64(s.Customers)*customerRowBytes +
+		int64(s.Authors)*authorRowBytes
+}
+
+func (s Scale) String() string {
+	return fmt.Sprintf("items=%d customers=%d authors=%d (~%.1f KB)",
+		s.Items, s.Customers, s.Authors, float64(s.EstimatedBytes())/1024)
+}

@@ -1,0 +1,239 @@
+package tpcw
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"madeus/internal/engine"
+	"madeus/internal/metrics"
+)
+
+func testSession(t *testing.T) *engine.Session {
+	t.Helper()
+	e := engine.New(engine.Options{})
+	t.Cleanup(e.Close)
+	if err := e.CreateDatabase("shop"); err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.NewSession("shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestScaleFor(t *testing.T) {
+	s := ScaleFor(100000, 100, 100)
+	if s.Items != 1000 {
+		t.Errorf("Items = %d", s.Items)
+	}
+	if s.Customers != 2880 {
+		t.Errorf("Customers = %d", s.Customers)
+	}
+	if s.Authors != 250 {
+		t.Errorf("Authors = %d", s.Authors)
+	}
+	// Floors apply at tiny scales.
+	tiny := ScaleFor(10, 1, 1000)
+	if tiny.Items < 20 || tiny.Customers < 20 || tiny.Authors < 5 {
+		t.Errorf("floors not applied: %+v", tiny)
+	}
+	if s.EstimatedBytes() <= 0 {
+		t.Error("EstimatedBytes <= 0")
+	}
+	// Size grows with items (Table 3's trend).
+	if ScaleFor(500000, 500, 100).EstimatedBytes() <= s.EstimatedBytes() {
+		t.Error("size not monotone in scale")
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	s := testSession(t)
+	scale := Scale{Items: 50, Customers: 120, Authors: 10}
+	if err := Load(s, scale); err != nil {
+		t.Fatal(err)
+	}
+	for table, want := range map[string]int{
+		"item": 50, "customer": 120, "author": 10,
+		"orders": 0, "order_line": 0, "cart": 0,
+	} {
+		n, err := s.RowCount(table)
+		if err != nil {
+			t.Fatalf("%s: %v", table, err)
+		}
+		if n != want {
+			t.Errorf("%s rows = %d, want %d", table, n, want)
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	s1 := testSession(t)
+	s2 := testSession(t)
+	scale := Scale{Items: 30, Customers: 30, Authors: 5}
+	if err := Load(s1, scale); err != nil {
+		t.Fatal(err)
+	}
+	if err := Load(s2, scale); err != nil {
+		t.Fatal(err)
+	}
+	eq, diff, err := engine.StateEqual(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("loads differ: %s", diff)
+	}
+}
+
+func TestMixUpdateRatios(t *testing.T) {
+	if Browsing.UpdatePct != 5 || Shopping.UpdatePct != 20 || Ordering.UpdatePct != 50 {
+		t.Errorf("mix percentages wrong: %v %v %v", Browsing, Shopping, Ordering)
+	}
+	if len(Mixes()) != 3 {
+		t.Error("Mixes() should list 3")
+	}
+}
+
+func TestPickRespectsMix(t *testing.T) {
+	for _, mix := range Mixes() {
+		eb := &EB{ID: 1, Mix: mix, Scale: Scale{Items: 100, Customers: 100, Authors: 10}}
+		eb.rng = rand.New(rand.NewSource(1))
+		updates := 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			if !eb.pick().readOnly() {
+				updates++
+			}
+		}
+		got := 100 * updates / n
+		if got < mix.UpdatePct-4 || got > mix.UpdatePct+4 {
+			t.Errorf("%s: update ratio %d%%, want ~%d%%", mix.Name, got, mix.UpdatePct)
+		}
+	}
+}
+
+func TestEveryInteractionExecutes(t *testing.T) {
+	s := testSession(t)
+	scale := Scale{Items: 60, Customers: 60, Authors: 10}
+	if err := Load(s, scale); err != nil {
+		t.Fatal(err)
+	}
+	eb := &EB{ID: 1, Mix: Ordering, Scale: scale}
+	eb.rng = rand.New(rand.NewSource(7))
+	for _, it := range []interaction{
+		iHome, iProductDetail, iSearch, iBestSellers, iOrderInquiry,
+		iShoppingCart, iBuyConfirm, iAdminUpdate,
+	} {
+		if err := eb.interact(s, it); err != nil {
+			t.Errorf("%v: %v", it, err)
+		}
+	}
+	// BuyConfirm inserted an order.
+	n, err := s.RowCount("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("orders = %d, want 1", n)
+	}
+	// OrderInquiry after a purchase hits the recorded order.
+	if eb.lastOrder == 0 {
+		t.Error("lastOrder not recorded")
+	}
+	if err := eb.interact(s, iOrderInquiry); err != nil {
+		t.Errorf("OrderInquiry: %v", err)
+	}
+}
+
+func TestInteractionsStartWithARead(t *testing.T) {
+	// The no-blind-write assumption (Sec 3.1): every transaction's first
+	// statement must be a SELECT. We check the statement lists by
+	// running each interaction through a recording Execer.
+	rec := &recordingExecer{}
+	eb := &EB{ID: 2, Mix: Ordering, Scale: Scale{Items: 60, Customers: 60, Authors: 10}}
+	eb.rng = rand.New(rand.NewSource(3))
+	for _, it := range []interaction{
+		iHome, iProductDetail, iSearch, iBestSellers, iOrderInquiry,
+		iShoppingCart, iBuyConfirm, iAdminUpdate,
+	} {
+		rec.stmts = nil
+		if err := eb.interact(rec, it); err != nil {
+			t.Fatalf("%v: %v", it, err)
+		}
+		if len(rec.stmts) < 3 {
+			t.Fatalf("%v: too few statements: %v", it, rec.stmts)
+		}
+		if rec.stmts[0] != "BEGIN" {
+			t.Errorf("%v: first stmt %q, want BEGIN", it, rec.stmts[0])
+		}
+		if got := rec.stmts[1]; len(got) < 6 || got[:6] != "SELECT" {
+			t.Errorf("%v: first operation %q is not a read (blind write!)", it, got)
+		}
+		if last := rec.stmts[len(rec.stmts)-1]; last != "COMMIT" {
+			t.Errorf("%v: last stmt %q, want COMMIT", it, last)
+		}
+	}
+}
+
+// recordingExecer captures statements and answers COMMIT affirmatively.
+type recordingExecer struct {
+	stmts []string
+}
+
+func (r *recordingExecer) Exec(sql string) (*engine.Result, error) {
+	r.stmts = append(r.stmts, sql)
+	if sql == "COMMIT" {
+		return &engine.Result{Tag: "COMMIT"}, nil
+	}
+	return &engine.Result{Tag: "OK"}, nil
+}
+
+func TestEBRunRecordsMetrics(t *testing.T) {
+	s := testSession(t)
+	scale := Scale{Items: 60, Customers: 60, Authors: 10}
+	if err := Load(s, scale); err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	eb := &EB{ID: 1, Mix: Shopping, Scale: scale, Think: time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if err := eb.Run(ctx, s, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() == 0 {
+		t.Error("no interactions recorded")
+	}
+	sum := rec.Summarize()
+	if sum.Mean <= 0 {
+		t.Errorf("mean = %v", sum.Mean)
+	}
+}
+
+func TestRunFleet(t *testing.T) {
+	e := engine.New(engine.Options{})
+	t.Cleanup(e.Close)
+	if err := e.CreateDatabase("shop"); err != nil {
+		t.Fatal(err)
+	}
+	setup, _ := e.NewSession("shop")
+	scale := Scale{Items: 60, Customers: 60, Authors: 10}
+	if err := Load(setup, scale); err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := RunFleet(ctx, 4, Ordering, scale, time.Millisecond, func() (Execer, error) {
+		return e.NewSession("shop")
+	}, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() < 4 {
+		t.Errorf("fleet recorded only %d interactions", rec.Count())
+	}
+}

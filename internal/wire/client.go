@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"madeus/internal/engine"
+)
+
+// Client is a protocol client bound to one database session. A Client is
+// used by one goroutine at a time (matching the request/response discipline:
+// "After receiving the response of the operation, the customer sends a new
+// operation", Sec 4.2).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+	rtt  time.Duration
+}
+
+// Dial connects to addr and starts a session on database.
+func Dial(addr, database string) (*Client, error) {
+	return DialRTT(addr, database, 0)
+}
+
+// DialRTT is Dial with a simulated network round-trip time added to every
+// Exec (the latency-injection knob standing in for the paper's 1 GbE LAN).
+func DialRTT(addr, database string, rtt time.Duration) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn: conn,
+		br:   bufio.NewReader(conn),
+		bw:   bufio.NewWriter(conn),
+		rtt:  rtt,
+	}
+	if err := c.startup(database); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) startup(database string) error {
+	if err := writeMsg(c.bw, MsgStartup, []byte(database)); err != nil {
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	typ, payload, err := readMsg(c.br)
+	if err != nil {
+		return err
+	}
+	switch typ {
+	case MsgReady:
+		return nil
+	case MsgError:
+		return &ServerError{Msg: string(payload)}
+	}
+	return fmt.Errorf("wire: unexpected startup response %q", typ)
+}
+
+// Exec sends one statement and waits for its result. A *ServerError return
+// means the server processed the request and reported a failure (e.g. a
+// serialization abort); other errors are transport failures.
+func (c *Client) Exec(sql string) (*engine.Result, error) {
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	if err := writeMsg(c.bw, MsgQuery, []byte(sql)); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readMsg(c.br)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case MsgResult:
+		return DecodeResult(payload)
+	case MsgError:
+		return nil, &ServerError{Msg: string(payload)}
+	}
+	return nil, fmt.Errorf("wire: unexpected response type %q", typ)
+}
+
+// Close terminates the session and the connection.
+func (c *Client) Close() error {
+	writeMsg(c.bw, MsgTerminate, nil)
+	c.bw.Flush()
+	return c.conn.Close()
+}

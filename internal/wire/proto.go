@@ -1,0 +1,246 @@
+// Package wire implements the query protocol between customers, the Madeus
+// middleware, and DBMS nodes.
+//
+// The paper's implementation speaks libpq and the type-4 JDBC protocol so
+// the middleware can interpose on unmodified PostgreSQL ("To interpret the
+// operation directly, we implement the libpq and type 4 JDBC protocol",
+// Sec 5.2). Our substitute is a minimal session-oriented protocol with the
+// same structure: a startup message selecting a database, then a stream of
+// query/response pairs. Madeus only needs to relay and classify operations,
+// so any such protocol exercises the identical middleware code path.
+//
+// Framing: 1 type byte + 4-byte big-endian payload length + payload.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"madeus/internal/engine"
+	"madeus/internal/sqlmini"
+)
+
+// Message type bytes.
+const (
+	MsgStartup   = 'S' // client → server: payload = database name
+	MsgQuery     = 'Q' // client → server: payload = SQL text
+	MsgTerminate = 'X' // client → server: close the session
+	MsgReady     = 'O' // server → client: startup accepted
+	MsgResult    = 'R' // server → client: encoded engine.Result
+	MsgError     = 'E' // server → client: error text
+)
+
+// maxPayload guards against corrupt frames.
+const maxPayload = 64 << 20
+
+// ServerError is an error reported by the remote server (as opposed to a
+// transport failure). The middleware relays these to customers verbatim.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// writeMsg writes one frame.
+func writeMsg(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readMsg reads one frame.
+func readMsg(r *bufio.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxPayload {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// --- Result encoding ---
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u32(v uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) u64(v uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) str(s string) {
+	e.u32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) value(v sqlmini.Value) {
+	e.buf = append(e.buf, byte(v.Kind))
+	switch v.Kind {
+	case sqlmini.KindNull:
+	case sqlmini.KindInt:
+		e.u64(uint64(v.Int))
+	case sqlmini.KindFloat:
+		e.u64(math.Float64bits(v.Float))
+	case sqlmini.KindText:
+		e.str(v.Str)
+	case sqlmini.KindBool:
+		if v.Bool {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	}
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.off+4 > len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.off+8 > len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := binary.BigEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v, nil
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u32()
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.buf) {
+		return "", io.ErrUnexpectedEOF
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) value() (sqlmini.Value, error) {
+	k, err := d.byte()
+	if err != nil {
+		return sqlmini.Value{}, err
+	}
+	switch sqlmini.ValueKind(k) {
+	case sqlmini.KindNull:
+		return sqlmini.Null(), nil
+	case sqlmini.KindInt:
+		v, err := d.u64()
+		return sqlmini.NewInt(int64(v)), err
+	case sqlmini.KindFloat:
+		v, err := d.u64()
+		return sqlmini.NewFloat(math.Float64frombits(v)), err
+	case sqlmini.KindText:
+		s, err := d.str()
+		return sqlmini.NewText(s), err
+	case sqlmini.KindBool:
+		b, err := d.byte()
+		return sqlmini.NewBool(b != 0), err
+	}
+	return sqlmini.Value{}, fmt.Errorf("wire: bad value kind %d", k)
+}
+
+// EncodeResult serializes an engine result.
+func EncodeResult(res *engine.Result) []byte {
+	var e encoder
+	e.str(res.Tag)
+	e.u32(uint32(res.Affected))
+	e.u32(uint32(len(res.Columns)))
+	for _, c := range res.Columns {
+		e.str(c)
+	}
+	e.u32(uint32(len(res.Rows)))
+	for _, row := range res.Rows {
+		e.u32(uint32(len(row)))
+		for _, v := range row {
+			e.value(v)
+		}
+	}
+	return e.buf
+}
+
+// DecodeResult parses an encoded engine result.
+func DecodeResult(buf []byte) (*engine.Result, error) {
+	d := decoder{buf: buf}
+	res := &engine.Result{}
+	var err error
+	if res.Tag, err = d.str(); err != nil {
+		return nil, err
+	}
+	aff, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	res.Affected = int(aff)
+	ncols, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < ncols; i++ {
+		c, err := d.str()
+		if err != nil {
+			return nil, err
+		}
+		res.Columns = append(res.Columns, c)
+	}
+	nrows, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nrows; i++ {
+		nvals, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		row := make([]sqlmini.Value, nvals)
+		for j := uint32(0); j < nvals; j++ {
+			if row[j], err = d.value(); err != nil {
+				return nil, err
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

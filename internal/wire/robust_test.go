@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+
+	"madeus/internal/engine"
+	"madeus/internal/sqlmini"
+)
+
+// rawConn opens a TCP connection to the server without the client wrapper.
+func rawConn(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	_, srv := newServer(t)
+	conn := rawConn(t, srv.Addr())
+	var hdr [5]byte
+	hdr[0] = MsgStartup
+	binary.BigEndian.PutUint32(hdr[1:], 1<<31) // absurd length
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the connection rather than allocate.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected connection close or error")
+	}
+}
+
+func TestServerHandlesAbruptDisconnectMidFrame(t *testing.T) {
+	_, srv := newServer(t)
+	conn := rawConn(t, srv.Addr())
+	var hdr [5]byte
+	hdr[0] = MsgStartup
+	binary.BigEndian.PutUint32(hdr[1:], 100) // promise 100 bytes
+	conn.Write(hdr[:])
+	conn.Write([]byte("db")) // send only 2
+	conn.Close()
+	// Server must not hang or crash; a fresh client still works.
+	c, err := Dial(srv.Addr(), "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerRejectsUnexpectedMessageType(t *testing.T) {
+	_, srv := newServer(t)
+	conn := rawConn(t, srv.Addr())
+	// Valid startup first.
+	if err := writeMsg(conn, MsgStartup, []byte("db")); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	typ, _, err := readMsg(br)
+	if err != nil || typ != MsgReady {
+		t.Fatalf("startup: %c %v", typ, err)
+	}
+	// Then garbage type.
+	if err := writeMsg(conn, 'Z', nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readMsg(br)
+	if err != nil {
+		t.Fatalf("read error response: %v", err)
+	}
+	if typ != MsgError {
+		t.Errorf("got %c %q, want error", typ, payload)
+	}
+}
+
+func TestQueryBeforeStartupDropsConnection(t *testing.T) {
+	_, srv := newServer(t)
+	conn := rawConn(t, srv.Addr())
+	if err := writeMsg(conn, MsgQuery, []byte("SELECT 1 FROM t")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 16)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected close for query before startup")
+	}
+}
+
+func TestDecodeResultBadValueKind(t *testing.T) {
+	full := EncodeResult(&engine.Result{
+		Tag: "SELECT 1", Columns: []string{"a"},
+		Rows: [][]sqlmini.Value{{sqlmini.NewInt(1)}},
+	})
+	full[len(full)-9] = 0xFF // the kind byte of the single INT value
+	if _, err := DecodeResult(full); err == nil {
+		t.Error("corrupt kind not detected")
+	}
+}

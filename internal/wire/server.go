@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"madeus/internal/engine"
+)
+
+// Conn is one server-side session: what a connected client can do.
+// *engine.Session satisfies it.
+type Conn interface {
+	Exec(sql string) (*engine.Result, error)
+	Close()
+}
+
+// Handler opens a session when a client's startup message arrives.
+type Handler interface {
+	Connect(database string) (Conn, error)
+}
+
+// HandlerFunc adapts a function to Handler.
+type HandlerFunc func(database string) (Conn, error)
+
+// Connect calls f.
+func (f HandlerFunc) Connect(database string) (Conn, error) { return f(database) }
+
+// Server accepts protocol connections and drives sessions.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Listen starts a server on addr ("127.0.0.1:0" picks a free port).
+func Listen(addr string, handler Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting and closes all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.ln.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Startup.
+	typ, payload, err := readMsg(br)
+	if err != nil || typ != MsgStartup {
+		return
+	}
+	sess, err := s.handler.Connect(string(payload))
+	if err != nil {
+		writeMsg(bw, MsgError, []byte(err.Error()))
+		bw.Flush()
+		return
+	}
+	defer sess.Close()
+	if err := writeMsg(bw, MsgReady, nil); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	for {
+		typ, payload, err := readMsg(br)
+		if err != nil {
+			return // client went away
+		}
+		switch typ {
+		case MsgQuery:
+			res, err := sess.Exec(string(payload))
+			if err != nil {
+				err = writeMsg(bw, MsgError, []byte(err.Error()))
+			} else {
+				err = writeMsg(bw, MsgResult, EncodeResult(res))
+			}
+			if err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case MsgTerminate:
+			return
+		default:
+			writeMsg(bw, MsgError, []byte("wire: unexpected message type"))
+			bw.Flush()
+			return
+		}
+	}
+}
+
+// sessionConn adapts *engine.Session (whose Close returns nothing) to Conn.
+// engine.Session already matches; this var asserts it.
+var _ Conn = (*engine.Session)(nil)
+
+// EngineHandler serves sessions straight from an engine (the normal DBMS
+// node configuration).
+func EngineHandler(e *engine.Engine) Handler {
+	return HandlerFunc(func(db string) (Conn, error) {
+		return e.NewSession(db)
+	})
+}
+
+// IsTransportError distinguishes connection failures from server-reported
+// errors.
+func IsTransportError(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *ServerError
+	if errors.As(err, &se) {
+		return false
+	}
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || isNetError(err)
+}
+
+func isNetError(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne)
+}
