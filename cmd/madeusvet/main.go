@@ -1,0 +1,63 @@
+// Command madeusvet runs the repo's custom concurrency analyzers over the
+// tree and fails loudly on findings:
+//
+//	go run ./cmd/madeusvet ./...
+//
+// Output is one line per finding, `file:line:col: [rule] message`, and the
+// exit status is 1 when anything fired (2 on load errors), so the command
+// slots straight into scripts/verify.sh and CI. Suppress an intentional
+// deviation at its site with `//madeusvet:ignore rule reason`. The analyzer
+// set and the discipline each rule enforces are documented in
+// internal/analysis and DESIGN.md ("Concurrency invariants & lock
+// hierarchy").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"madeus/internal/analysis"
+)
+
+func main() {
+	listRules := flag.Bool("rules", false, "list the analyzers and exit")
+	flag.Parse()
+
+	if *listRules {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madeusvet:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	findings := 0
+	for _, pkg := range pkgs {
+		if pkg.TypeErr != nil {
+			fmt.Fprintf(os.Stderr, "madeusvet: note: %s type-checked partially: %v\n", pkg.Path, pkg.TypeErr)
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "madeusvet: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}

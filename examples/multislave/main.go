@@ -68,21 +68,23 @@ func main() {
 			default:
 			}
 			i++
-			w.Exec("BEGIN")
-			w.Exec(fmt.Sprintf("SELECT v FROM t WHERE id = %d", i%200))
-			w.Exec(fmt.Sprintf("UPDATE t SET v = v + 1 WHERE id = %d", i%200))
-			w.Exec("COMMIT")
+			// Errors are expected around the crash and the switch-over
+			// drains; the writer just keeps pushing.
+			_, _ = w.Exec("BEGIN")
+			_, _ = w.Exec(fmt.Sprintf("SELECT v FROM t WHERE id = %d", i%200))
+			_, _ = w.Exec(fmt.Sprintf("UPDATE t SET v = v + 1 WHERE id = %d", i%200))
+			_, _ = w.Exec("COMMIT")
 			time.Sleep(3 * time.Millisecond)
 		}
 	}()
 	time.Sleep(50 * time.Millisecond)
 
 	// Kill the PRIMARY destination shortly after the migration starts.
-	go func() {
-		time.Sleep(150 * time.Millisecond)
+	crash := time.AfterFunc(150*time.Millisecond, func() {
 		fmt.Println("!! node1 (the primary destination) just crashed")
 		nodes[1].Close()
-	}()
+	})
+	defer crash.Stop()
 
 	fmt.Println("migrating shop: node0 -> node1, with node2 as a backup slave")
 	rep, err := mw.Migrate("shop", "node1", core.MigrateOptions{

@@ -1,0 +1,235 @@
+// Package analysis is madeus's in-tree static-analysis framework: a small
+// analyzer harness built entirely on the stdlib go/ast, go/parser, and
+// go/types packages (no golang.org/x/tools dependency), plus the
+// repo-tailored concurrency analyzers that cmd/madeusvet runs over ./...
+//
+// The framework exists because the repo's correctness rests on concurrency
+// discipline that generic go vet cannot see: which mutexes guard which
+// critical regions, which calls block, which errors are load-bearing on the
+// commit/WAL/wire paths, and which assertions must stay behind the
+// `invariants` build tag. Each analyzer encodes one such rule; DESIGN.md
+// ("Concurrency invariants & lock hierarchy") documents the discipline they
+// enforce.
+//
+// Findings can be suppressed at a specific site with an inline directive on
+// the same line or the line directly above:
+//
+//	//madeusvet:ignore rulename reason for the exemption
+//
+// Suppressions are for intentional, documented deviations (e.g. the WAL's
+// serial mode holding its mutex across the modeled fsync); use sparingly.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one package to an analyzer. Info and Types may be incomplete
+// when type-checking partially failed (the loader records the error and
+// continues); analyzers must degrade to AST heuristics in that case.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Types    *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil when type info is unavailable.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// All returns the default analyzer set cmd/madeusvet runs.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockDiscipline,
+		LockCopy,
+		GoroLeak,
+		ErrDrop,
+		InvariantCall,
+	}
+}
+
+// RunAnalyzers applies each analyzer to pkg and returns the surviving
+// findings, sorted by position, with //madeusvet:ignore directives applied.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			PkgPath:  pkg.Path,
+			Types:    pkg.Types,
+			Info:     pkg.Info,
+		}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if ignores.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignoreSet maps file -> line -> rules suppressed at that line.
+type ignoreSet map[string]map[int]map[string]bool
+
+// collectIgnores scans comments for madeusvet:ignore directives. A directive
+// suppresses the named rules (comma-separated; "all" matches every rule) on
+// its own line and on the line that follows it, so both trailing and
+// preceding comment placement work.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "madeusvet:ignore") {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, "madeusvet:ignore"))
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					set[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					rules := byLine[line]
+					if rules == nil {
+						rules = make(map[string]bool)
+						byLine[line] = rules
+					}
+					for _, r := range strings.Split(fields[0], ",") {
+						rules[strings.TrimSpace(r)] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	rules := s[d.Pos.Filename][d.Pos.Line]
+	return rules != nil && (rules[d.Rule] || rules["all"])
+}
+
+// --- shared AST helpers used by several analyzers ---
+
+// exprString renders a (simple) expression as source-ish text, enough to key
+// lock identity ("t.mu", "ch.mu", "p.herdMu"). Unrenderable expressions
+// return "".
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.StarExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		base := exprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "[...]"
+	}
+	return ""
+}
+
+// isTestFile reports whether the file holding pos is a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// namedType dereferences pointers and returns the *types.Named behind t,
+// or nil.
+func namedType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	if n == nil {
+		if p, ok := t.(*types.Pointer); ok {
+			n, _ = p.Elem().(*types.Named)
+		}
+	}
+	return n
+}
+
+// isSyncType reports whether t is sync.<name> (or a pointer to it).
+func isSyncType(t types.Type, name string) bool {
+	n := namedType(t)
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == name
+}

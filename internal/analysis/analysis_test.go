@@ -1,0 +1,103 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAnalyzerFixtures drives every analyzer over its fixture package under
+// testdata/src (a self-contained module loaded with the real loader). A
+// fixture line carrying a `// want` marker must yield exactly one finding of
+// the package's namesake rule; every other line must yield none. The errdrop
+// fixture additionally covers the //madeusvet:ignore suppression path.
+func TestAnalyzerFixtures(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src"), "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzers := make(map[string]*Analyzer)
+	for _, a := range All() {
+		analyzers[a.Name] = a
+	}
+
+	tested := make(map[string]bool)
+	for _, pkg := range pkgs {
+		base := pkg.Path[strings.LastIndex(pkg.Path, "/")+1:]
+		a, ok := analyzers[base]
+		if !ok {
+			continue // helper packages (the invariant stub)
+		}
+		tested[base] = true
+		pkg := pkg
+		t.Run(base, func(t *testing.T) {
+			if pkg.TypeErr != nil {
+				t.Fatalf("fixture failed to type-check: %v", pkg.TypeErr)
+			}
+			got := make(map[string]int)
+			for _, d := range RunAnalyzers(pkg, []*Analyzer{a}) {
+				got[fmt.Sprintf("%s:%d", d.Pos.Filename, d.Pos.Line)]++
+			}
+			want := wantMarkers(pkg)
+			for loc, n := range want {
+				if got[loc] != n {
+					t.Errorf("%s: got %d findings, want %d", loc, got[loc], n)
+				}
+			}
+			for loc, n := range got {
+				if want[loc] == 0 {
+					t.Errorf("%s: %d unexpected finding(s)", loc, n)
+				}
+			}
+			if len(want) == 0 {
+				t.Fatalf("fixture has no want markers; the positive case is missing")
+			}
+		})
+	}
+	for name := range analyzers {
+		if !tested[name] {
+			t.Errorf("analyzer %s has no fixture package under testdata/src", name)
+		}
+	}
+}
+
+// wantMarkers returns the expected finding count per "file:line", parsed
+// from `// want` trailing comments.
+func wantMarkers(pkg *Package) map[string]int {
+	out := make(map[string]int)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, "//")) != "want" {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out[fmt.Sprintf("%s:%d", pos.Filename, pos.Line)]++
+			}
+		}
+	}
+	return out
+}
+
+// TestIgnoreDirectiveScope pins the suppression contract: a directive
+// suppresses its own line and the next, for the named rules only.
+func TestIgnoreDirectiveScope(t *testing.T) {
+	pkgs, err := Load(filepath.Join("testdata", "src"), "./errdrop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	diags := RunAnalyzers(pkgs[0], All())
+	n := 0
+	for _, d := range diags {
+		if d.Rule == "errdrop" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("got %d errdrop findings in the fixture, want exactly 1 (the ignored site must be suppressed): %v", n, diags)
+	}
+}

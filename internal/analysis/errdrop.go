@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags statements that discard an error result on the paths where
+// a silently lost error corrupts the protocol: commit, WAL, and wire
+// operations. A call is on such a path when its name (case-insensitively)
+// contains one of the risky verbs below; the call must also actually return
+// an error (checked via type info when available). Best-effort teardown is
+// expressed with an explicit `_ =` assignment, which this rule deliberately
+// accepts — the discard is then visible in the source.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no silently discarded errors on commit/WAL/wire paths",
+	Run:  runErrDrop,
+}
+
+// riskyVerbs are the commit/WAL/wire path markers.
+var riskyVerbs = []string{
+	"commit", "exec", "flush", "sync", "write", "send", "append", "rollback", "relay", "restore",
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := st.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name := calleeName(call)
+			if name == "" || !isRiskyName(name) {
+				return true
+			}
+			if isInfallibleWriter(pass, call) {
+				return true
+			}
+			returnsErr, known := callReturnsError(pass, call)
+			if known && !returnsErr {
+				return true
+			}
+			pass.Reportf(call.Pos(), "result of %s dropped on a commit/WAL/wire path; handle the error or discard explicitly with _ =", name)
+			return true
+		})
+	}
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+func isRiskyName(name string) bool {
+	lower := strings.ToLower(name)
+	for _, v := range riskyVerbs {
+		if strings.Contains(lower, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// callReturnsError reports whether any result of the call is an error.
+// known is false when type info cannot answer (the caller then assumes the
+// name heuristic).
+func callReturnsError(pass *Pass, call *ast.CallExpr) (returnsErr, known bool) {
+	t := pass.TypeOf(call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false, false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+func isErrorType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	return ok && n.Obj() != nil && n.Obj().Pkg() == nil && n.Obj().Name() == "error"
+}
+
+// isInfallibleWriter exempts strings.Builder and bytes.Buffer methods: their
+// Write* error results are documented to always be nil.
+func isInfallibleWriter(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	n := namedType(pass.TypeOf(sel.X))
+	if n == nil || n.Obj() == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := n.Obj().Pkg().Path(), n.Obj().Name()
+	return (path == "strings" && name == "Builder") || (path == "bytes" && name == "Buffer")
+}

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GoroLeak flags `go` statements (outside tests) whose goroutine has no
+// visible escape hatch: no channel operation, no context/done/stop
+// selection, no WaitGroup bookkeeping — the shape of a goroutine that can
+// outlive its owner and leak. The launched body is resolved for func
+// literals and same-package functions/methods; launches of functions the
+// analyzer cannot see into are skipped rather than guessed at.
+var GoroLeak = &Analyzer{
+	Name: "goroleak",
+	Doc:  "goroutines need a WaitGroup, done channel, or context escape hatch",
+	Run:  runGoroLeak,
+}
+
+func runGoroLeak(pass *Pass) {
+	// Index this package's function and method bodies by name.
+	bodies := make(map[string]*ast.BlockStmt)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				bodies[fn.Name.Name] = fn.Body
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var what string
+			switch fun := g.Call.Fun.(type) {
+			case *ast.FuncLit:
+				body, what = fun.Body, "go func literal"
+			case *ast.Ident:
+				body, what = bodies[fun.Name], "go "+fun.Name
+			case *ast.SelectorExpr:
+				body, what = bodies[fun.Sel.Name], "go "+exprString(fun)
+			}
+			if body == nil {
+				return true // cross-package launch: cannot inspect, do not guess
+			}
+			if !hasEscapeHatch(pass, body) {
+				pass.Reportf(g.Pos(), "%s has no escape hatch (no channel op, context/done selection, or WaitGroup); it can leak", what)
+			}
+			return true
+		})
+	}
+}
+
+// hasEscapeHatch reports whether body contains any mechanism that lets the
+// goroutine terminate on demand or signal completion: channel send/receive/
+// close/select/range-over-channel, a context or done/stop/quit/abort
+// reference, or WaitGroup Done/Add.
+func hasEscapeHatch(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.RangeStmt:
+			// Ranging over a channel terminates when it is closed.
+			if t := pass.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				switch fun.Sel.Name {
+				case "Done", "Add", "Wait": // WaitGroup bookkeeping or ctx.Done
+					found = true
+				}
+			}
+		case *ast.Ident:
+			lower := strings.ToLower(n.Name)
+			switch {
+			case lower == "ctx" || lower == "context",
+				strings.HasSuffix(lower, "done"),
+				strings.HasSuffix(lower, "stop"),
+				strings.HasSuffix(lower, "quit"),
+				strings.HasSuffix(lower, "abort"):
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

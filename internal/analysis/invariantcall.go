@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// InvariantCall polices the internal/invariant call sites: assertion
+// arguments are evaluated even in production (no-tag) builds, so only the
+// `invariants` build tag may gate real work. Concretely:
+//
+//   - invariant.Assert / Assertf conditions and message args must not
+//     contain function calls — a call there runs on every production hit of
+//     the hot path. Wrap expensive checks in invariant.Check(func() error)
+//     instead; the closure is only invoked under -tags invariants.
+//   - invariant.Check takes a func literal or func value, not the result of
+//     calling something — invariant.Check(f()) evaluates f eagerly.
+var InvariantCall = &Analyzer{
+	Name: "invariantcall",
+	Doc:  "invariant assertions must only do real work under the invariants build tag",
+	Run:  runInvariantCall,
+}
+
+func runInvariantCall(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || !isInvariantPkg(pass, pkg) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Assert", "Assertf":
+				for i, arg := range call.Args {
+					if i == 1 && sel.Sel.Name == "Assertf" {
+						continue // the format string literal
+					}
+					if i == 1 && sel.Sel.Name == "Assert" {
+						continue // the message literal
+					}
+					if inner := firstCall(pass, arg); inner != nil {
+						pass.Reportf(inner.Pos(),
+							"call inside invariant.%s argument is evaluated even without -tags invariants; move it into invariant.Check(func() error {...})",
+							sel.Sel.Name)
+					}
+				}
+			case "Check":
+				if len(call.Args) == 1 {
+					if inner, isCall := call.Args[0].(*ast.CallExpr); isCall {
+						pass.Reportf(inner.Pos(),
+							"invariant.Check argument is a call result, evaluated even without -tags invariants; pass a func literal or func value")
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isInvariantPkg reports whether ident names the internal/invariant package
+// (by import resolution when type info is present, by name otherwise).
+func isInvariantPkg(pass *Pass, ident *ast.Ident) bool {
+	if pass.Info != nil {
+		if obj, ok := pass.Info.Uses[ident]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return strings.HasSuffix(pn.Imported().Path(), "internal/invariant")
+			}
+			return ident.Name == "invariant"
+		}
+	}
+	return ident.Name == "invariant"
+}
+
+// firstCall returns the first real CallExpr inside e, skipping func literal
+// bodies (those do not run eagerly), builtins like len/cap, and type
+// conversions — all cheap enough for a production-build condition.
+func firstCall(pass *Pass, e ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if isCheapCall(pass, n) {
+				return true // still scan the arguments
+			}
+			found = n
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// cheapBuiltins are allowed inside eager assertion arguments.
+var cheapBuiltins = map[string]bool{
+	"len": true, "cap": true, "min": true, "max": true,
+	"int": true, "int8": true, "int16": true, "int32": true, "int64": true,
+	"uint": true, "uint8": true, "uint16": true, "uint32": true, "uint64": true,
+	"uintptr": true, "float32": true, "float64": true, "byte": true,
+	"rune": true, "string": true, "bool": true,
+}
+
+// isCheapCall reports whether call is a builtin or a type conversion.
+func isCheapCall(pass *Pass, call *ast.CallExpr) bool {
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[call.Fun]; ok {
+			if tv.IsType() || tv.IsBuiltin() {
+				return true
+			}
+			// Resolved as a value: a real function call.
+			return false
+		}
+	}
+	ident, ok := call.Fun.(*ast.Ident)
+	return ok && cheapBuiltins[ident.Name]
+}

@@ -1,0 +1,313 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one loaded, parsed, and (best-effort) type-checked package.
+type Package struct {
+	Path  string // import path, e.g. madeus/internal/wal
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	Types   *types.Package // nil when type-checking failed outright
+	Info    *types.Info    // always non-nil after Load; may be partial
+	TypeErr error          // first type-checking error, if any
+
+	imports []string // module-internal import paths
+}
+
+// Load parses and type-checks the packages matched by patterns, rooted at
+// dir (the directory holding go.mod). Patterns follow the go tool's shape:
+// "./..." walks everything; "./internal/wal" is one package. Test files and
+// files excluded by default build tags (notably `invariants`) are skipped —
+// madeusvet checks the production build.
+//
+// Type-checking resolves module-internal imports from the loaded set
+// (topological order) and standard-library imports by compiling stdlib
+// source (go/importer "source" mode), so the loader needs no pre-built
+// export data and no external dependencies. A package that fails to
+// type-check is still analyzed with whatever partial info was collected.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modRoot, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dirs := make(map[string]bool)
+	for _, pat := range patterns {
+		rec := false
+		if strings.HasSuffix(pat, "/...") {
+			rec = true
+			pat = strings.TrimSuffix(pat, "/...")
+		} else if pat == "..." {
+			rec, pat = true, "."
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(dir, base)
+		}
+		if !rec {
+			dirs[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			dirs[filepath.Clean(p)] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, d := range sortedKeys(dirs) {
+		pkg, err := parseDir(fset, d, modRoot, modPath)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	typeCheck(fset, modPath, pkgs)
+	return pkgs, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// findModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func findModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+	}
+}
+
+// parseDir parses the production (non-test, default-tag) files of one
+// directory. It returns nil when the directory holds no such files.
+func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !defaultTagsSatisfied(string(src)) {
+			continue
+		}
+		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			ip, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+				pkg.imports = append(pkg.imports, ip)
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// defaultTagsSatisfied evaluates a file's //go:build (or // +build) line
+// against the default production tag set: GOOS, GOARCH, the compiler, and
+// every supported go1.N release tag — and nothing else, so files gated on
+// custom tags like `invariants` are excluded.
+func defaultTagsSatisfied(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
+			if expr, err := constraint.Parse(trimmed); err == nil {
+				return expr.Eval(defaultTag)
+			}
+			continue
+		}
+		break // first non-comment, non-blank line: constraints must precede it
+	}
+	return true
+}
+
+func defaultTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH || tag == runtime.Compiler || tag == "unix" {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(tag, "go1."); ok {
+		if n, err := strconv.Atoi(rest); err == nil {
+			cur := strings.TrimPrefix(runtime.Version(), "go1.")
+			if i := strings.IndexByte(cur, '.'); i >= 0 {
+				cur = cur[:i]
+			}
+			if c, err := strconv.Atoi(cur); err == nil {
+				return n <= c
+			}
+		}
+	}
+	return false
+}
+
+// moduleImporter resolves module-internal imports from the loaded package
+// set and everything else from stdlib source.
+type moduleImporter struct {
+	modPath string
+	local   map[string]*Package
+	std     types.ImporterFrom
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	return m.ImportFrom(path, "", 0)
+}
+
+func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
+		p := m.local[path]
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("analysis: internal import %q not loaded", path)
+		}
+		return p.Types, nil
+	}
+	return m.std.ImportFrom(path, dir, mode)
+}
+
+// typeCheck type-checks pkgs in dependency order, sharing one importer so
+// stdlib packages are compiled once.
+func typeCheck(fset *token.FileSet, modPath string, pkgs []*Package) {
+	byPath := make(map[string]*Package, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.Path] = p
+	}
+	imp := &moduleImporter{
+		modPath: modPath,
+		local:   byPath,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+
+	// Topological order over module-internal imports (cycles are a compile
+	// error anyway; visit order falls back to as-listed).
+	var order []*Package
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *Package)
+	visit = func(p *Package) {
+		switch state[p.Path] {
+		case 1, 2:
+			return
+		}
+		state[p.Path] = 1
+		for _, dep := range p.imports {
+			if d := byPath[dep]; d != nil {
+				visit(d)
+			}
+		}
+		state[p.Path] = 2
+		order = append(order, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+
+	for _, p := range order {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				if p.TypeErr == nil {
+					p.TypeErr = err
+				}
+			},
+		}
+		tpkg, err := conf.Check(p.Path, fset, p.Files, info)
+		if err != nil && p.TypeErr == nil {
+			p.TypeErr = err
+		}
+		p.Types = tpkg
+		p.Info = info
+	}
+}

@@ -1,0 +1,136 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockCopy flags functions that pass or return lock-bearing structs by
+// value: a copied sync.Mutex/RWMutex/Cond/WaitGroup/Once is a fresh,
+// unsynchronized lock, which silently splits a critical region in two.
+// Receivers count too — a value receiver on a lock-bearing type copies on
+// every call.
+var LockCopy = &Analyzer{
+	Name: "lockcopy",
+	Doc:  "lock-bearing structs must move by pointer, never by value",
+	Run:  runLockCopy,
+}
+
+var syncLockTypes = []string{"Mutex", "RWMutex", "Cond", "WaitGroup", "Once"}
+
+func runLockCopy(pass *Pass) {
+	// AST fallback: struct type names in this package that declare a
+	// sync.* lock field directly.
+	astLockStructs := make(map[string]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				if rendered := exprString(f.Type); strings.HasPrefix(rendered, "sync.") {
+					for _, lt := range syncLockTypes {
+						if rendered == "sync."+lt {
+							astLockStructs[ts.Name.Name] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			check := func(field *ast.Field, role string) {
+				if _, isStar := field.Type.(*ast.StarExpr); isStar {
+					return
+				}
+				if why := lockPath(pass, field.Type, astLockStructs); why != "" {
+					pass.Reportf(field.Type.Pos(), "%s of %s passes %s by value; use a pointer", role, fn.Name.Name, why)
+				}
+			}
+			if fn.Recv != nil {
+				for _, f := range fn.Recv.List {
+					check(f, "receiver")
+				}
+			}
+			if fn.Type.Params != nil {
+				for _, f := range fn.Type.Params.List {
+					check(f, "parameter")
+				}
+			}
+			if fn.Type.Results != nil {
+				for _, f := range fn.Type.Results.List {
+					check(f, "result")
+				}
+			}
+		}
+	}
+}
+
+// lockPath describes the lock a by-value use of typeExpr would copy, or ""
+// when the type is lock-free. Uses type info when available, the AST struct
+// index otherwise.
+func lockPath(pass *Pass, typeExpr ast.Expr, astLockStructs map[string]bool) string {
+	if t := pass.TypeOf(typeExpr); t != nil {
+		return typeLockPath(t, typeName(typeExpr), make(map[types.Type]bool))
+	}
+	name := typeName(typeExpr)
+	if astLockStructs[name] {
+		return name + " (holds a sync lock)"
+	}
+	return ""
+}
+
+func typeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e)
+	}
+	return ""
+}
+
+// typeLockPath reports the first lock found inside t (descending into
+// structs and arrays, not pointers/slices/maps — those share, not copy).
+func typeLockPath(t types.Type, label string, seen map[types.Type]bool) string {
+	if t == nil || seen[t] {
+		return ""
+	}
+	seen[t] = true
+	for _, lt := range syncLockTypes {
+		if isSyncType(t, lt) {
+			if label == "" {
+				label = "sync." + lt
+			}
+			return label + " (sync." + lt + ")"
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if why := typeLockPath(f.Type(), label+"."+f.Name(), seen); why != "" {
+				return why
+			}
+		}
+	case *types.Array:
+		return typeLockPath(u.Elem(), label+"[i]", seen)
+	}
+	return ""
+}

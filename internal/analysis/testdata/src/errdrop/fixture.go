@@ -1,0 +1,67 @@
+// Package errdrop exercises the errdrop analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none.
+package errdrop
+
+import (
+	"errors"
+	"strings"
+)
+
+type store struct{ dirty bool }
+
+// Commit is a risky-verb method returning an error.
+func (s *store) Commit() error {
+	if s.dirty {
+		return errors.New("dirty")
+	}
+	return nil
+}
+
+// Flush returns no error; the type checker clears it despite the verb.
+func (s *store) Flush() {}
+
+// Lookup has no risky verb in its name.
+func (s *store) Lookup() error { return nil }
+
+// dropsCommit silently discards the commit error.
+func dropsCommit(s *store) {
+	s.Commit() // want
+}
+
+// dropsIgnored documents the discard with a suppression directive; the
+// finding must be suppressed.
+func dropsIgnored(s *store) {
+	//madeusvet:ignore errdrop fixture: documented best-effort site
+	s.Commit()
+}
+
+// explicitDiscard uses the accepted `_ =` form.
+func explicitDiscard(s *store) {
+	_ = s.Commit()
+}
+
+// handled checks the error.
+func handled(s *store) error {
+	if err := s.Commit(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// flushNoError calls a risky-named method that returns nothing.
+func flushNoError(s *store) {
+	s.Flush()
+}
+
+// lookupDropped drops an error, but not on a risky path.
+func lookupDropped(s *store) {
+	s.Lookup()
+}
+
+// builderWrites hits the infallible-writer exemption.
+func builderWrites() string {
+	var b strings.Builder
+	b.WriteString("hello")
+	b.WriteByte(' ')
+	return b.String()
+}

@@ -1,0 +1,54 @@
+// Package goroleak exercises the goroleak analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none.
+package goroleak
+
+type worker struct {
+	jobs chan int
+	halt chan struct{}
+}
+
+func work() {}
+
+// spinForever launches a goroutine with no escape hatch — it can never be
+// told to exit and never signals completion.
+func spinForever() {
+	go func() { // want
+		for {
+			work()
+		}
+	}()
+}
+
+// namedLeak launches a same-package function with no escape hatch.
+func namedLeak() {
+	go spinBody() // want
+}
+
+func spinBody() {
+	for {
+		work()
+	}
+}
+
+// withDone selects on a shutdown channel — the sanctioned shape.
+func (w *worker) withDone() {
+	go func() {
+		for {
+			select {
+			case j := <-w.jobs:
+				_ = j
+			case <-w.halt:
+				return
+			}
+		}
+	}()
+}
+
+// withRange drains a channel; closing it terminates the goroutine.
+func (w *worker) withRange() {
+	go func() {
+		for j := range w.jobs {
+			_ = j
+		}
+	}()
+}

@@ -1,0 +1,12 @@
+// Package invariant is a fixture stand-in for madeus/internal/invariant; the
+// invariantcall analyzer matches it by its "internal/invariant" path suffix.
+package invariant
+
+// Assert is the fixture no-op assertion.
+func Assert(cond bool, msg string) {}
+
+// Assertf is the fixture no-op formatted assertion.
+func Assertf(cond bool, format string, args ...any) {}
+
+// Check is the fixture no-op deferred-work assertion.
+func Check(f func() error) {}

@@ -1,0 +1,45 @@
+// Package invariantcall exercises the invariantcall analyzer: each line
+// marked `// want` must produce exactly one finding; unmarked lines none.
+package invariantcall
+
+import "fixture/internal/invariant"
+
+func expensive() bool { return true }
+
+func checker() func() error { return func() error { return nil } }
+
+type state struct {
+	items []int
+	n     uint32
+}
+
+// eagerAssert evaluates a real call in the condition of every production
+// hit — the analyzer must flag the inner call.
+func eagerAssert(s *state) {
+	invariant.Assert(expensive(), "state consistent") // want
+}
+
+// eagerAssertf does the same through Assertf's condition.
+func eagerAssertf(s *state) {
+	invariant.Assertf(expensive(), "state consistent: %d", s.n) // want
+}
+
+// eagerCheck passes a call RESULT to Check, evaluating checker() eagerly.
+func eagerCheck() {
+	invariant.Check(checker()) // want
+}
+
+// cheapAssert uses only builtins and type conversions — allowed.
+func cheapAssert(s *state) {
+	invariant.Assert(len(s.items) > 0, "items present")
+	invariant.Assertf(uint64(s.n) < 1<<32, "n fits: %d", s.n)
+	invariant.Assertf(min(len(s.items), cap(s.items)) >= 0, "lengths sane")
+}
+
+// deferredCheck passes a func literal — the sanctioned shape for expensive
+// verification.
+func deferredCheck(s *state) {
+	invariant.Check(func() error { return verify(s) })
+}
+
+func verify(s *state) error { return nil }

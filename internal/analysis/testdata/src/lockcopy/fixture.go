@@ -1,0 +1,48 @@
+// Package lockcopy exercises the lockcopy analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none.
+package lockcopy
+
+import "sync"
+
+// counter carries a mutex directly.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper carries a lock transitively, through an embedded struct.
+type wrapper struct {
+	c counter
+}
+
+// Bump copies the receiver — and with it the mutex — on every call.
+func (c counter) Bump() { // want
+	c.n++
+}
+
+// merge takes a lock-bearing struct by value.
+func merge(a *counter, b wrapper) { // want
+	a.n += b.c.n
+}
+
+// fresh returns a lock-bearing struct by value.
+func fresh() counter { // want
+	return counter{}
+}
+
+// BumpPtr is the correct shape: pointer receiver.
+func (c *counter) BumpPtr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// mergePtr moves lock-bearers by pointer only.
+func mergePtr(a, b *counter) {
+	a.n += b.n
+}
+
+// plain structs without locks move by value freely.
+type point struct{ x, y int }
+
+func dist(p point) int { return p.x + p.y }

@@ -5,9 +5,11 @@ import (
 	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/testutil"
 )
 
 func TestNodeLifecycle(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	n, err := NewNode("n0", NodeOptions{})
 	if err != nil {
 		t.Fatal(err)
@@ -34,6 +36,7 @@ func TestNodeLifecycle(t *testing.T) {
 }
 
 func TestClusterAddAndLookup(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	cl := New()
 	defer cl.Close()
 	if _, err := cl.AddNode("node0", NodeOptions{}); err != nil {
@@ -58,6 +61,7 @@ func TestClusterAddAndLookup(t *testing.T) {
 }
 
 func TestClusterCloseShutsNodes(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	cl := New()
 	n, err := cl.AddNode("n", NodeOptions{})
 	if err != nil {
@@ -76,6 +80,7 @@ func TestClusterCloseShutsNodes(t *testing.T) {
 }
 
 func TestNodeRTTApplied(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	n, err := NewNode("slow", NodeOptions{RTT: 4 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
@@ -107,6 +112,7 @@ func TestNodeRTTApplied(t *testing.T) {
 }
 
 func TestTwoNodesIndependentState(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	cl := New()
 	defer cl.Close()
 	n0, _ := cl.AddNode("n0", NodeOptions{})
@@ -134,6 +140,7 @@ func TestTwoNodesIndependentState(t *testing.T) {
 }
 
 func TestSharedWALAcrossTenants(t *testing.T) {
+	testutil.CheckGoroutines(t)
 	// Two tenants on one node share the engine's WAL: fsyncs accrue on
 	// the same log (the shared process model).
 	n, err := NewNode("n", NodeOptions{Engine: engine.Options{}})

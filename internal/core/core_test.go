@@ -8,6 +8,7 @@ import (
 
 	"madeus/internal/cluster"
 	"madeus/internal/engine"
+	"madeus/internal/testutil"
 	"madeus/internal/wal"
 	"madeus/internal/wire"
 )
@@ -21,6 +22,9 @@ type testRig struct {
 
 func newRig(t *testing.T, nNodes int, engOpts engine.Options) *testRig {
 	t.Helper()
+	// Registered before the node/middleware cleanups so it runs after them
+	// (LIFO) and sees the fully torn-down state.
+	testutil.CheckGoroutines(t)
 	mw, err := New(Options{CatchupTimeout: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)

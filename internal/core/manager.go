@@ -176,6 +176,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	// dump transaction pins its snapshot and the MTS is recorded
 	// (Algorithm 3, lines 1-5).
 	t.mu.Lock()
+	//madeusvet:ignore lockdiscipline critical region: the snapshot must pin while first ops and commits are excluded (Algorithm 3, lines 1-5)
 	_, err = ctl.Exec("SNAPSHOT")
 	mts := t.mlc
 	t.ssl = nil // everything committed so far is inside the snapshot

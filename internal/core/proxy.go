@@ -286,6 +286,9 @@ func (w *worker) execFirstOp(sql string, class sqlmini.OpClass) (*engine.Result,
 		return nil, err
 	}
 	t.mu.Lock()
+	// Algorithm 1's critical region REQUIRES the master round-trip under
+	// t.mu: the STS stamp must equal the master-side snapshot order.
+	//madeusvet:ignore lockdiscipline critical region: first op executes under the tenant mutex by design (Algorithm 1)
 	res, err := w.backend.Exec(sql)
 	if err != nil {
 		t.mu.Unlock()
@@ -338,6 +341,9 @@ func (w *worker) execCommit(sql string) (*engine.Result, error) {
 		return nil, err
 	}
 	t.mu.Lock()
+	// COMMIT executes under the critical region so ETS assignment matches
+	// the master's commit order (Algorithm 1, lines 16-29).
+	//madeusvet:ignore lockdiscipline critical region: commit executes under the tenant mutex by design (Algorithm 1)
 	res, err := w.backend.Exec(sql)
 	switch {
 	case err != nil:
@@ -413,6 +419,9 @@ func (w *worker) execAutocommit(sql string, class sqlmini.OpClass) (*engine.Resu
 			return nil, err
 		}
 		t.mu.Lock()
+		// One-statement update transaction: stamped and committed inside
+		// the critical region like any other commit.
+		//madeusvet:ignore lockdiscipline critical region: autocommit write executes under the tenant mutex by design (Algorithm 1)
 		res, err := w.backend.Exec(sql)
 		if err == nil {
 			b := &SSB{STS: t.mlc, ETS: t.mlc, update: true}
@@ -429,8 +438,9 @@ func (w *worker) execAutocommit(sql string, class sqlmini.OpClass) (*engine.Resu
 // Close terminates the worker: abandon any open transaction.
 func (w *worker) Close() {
 	if w.inTxn {
-		// Roll the master-side transaction back and release tracking.
-		w.relay("ROLLBACK")
+		// Roll the master-side transaction back and release tracking;
+		// the rollback is best-effort (the backend may already be gone).
+		_, _ = w.relay("ROLLBACK")
 		w.endTxn(true)
 	}
 	if w.backend != nil {

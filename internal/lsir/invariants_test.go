@@ -1,0 +1,62 @@
+//go:build invariants
+
+package lsir
+
+import (
+	"testing"
+
+	"madeus/internal/invariant"
+)
+
+// TestInvariantsExercised proves MadeusSchedule's tag-gated self-check runs:
+// building the Appendix C schedule must evaluate the ordering invariant.
+func TestInvariantsExercised(t *testing.T) {
+	invariant.Reset()
+	sets := MapHistory(appendixCHistory())
+	s := MadeusSchedule(sets)
+	if len(s.Ops) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if n := invariant.Count(); n == 0 {
+		t.Fatal("no invariant assertions were evaluated; instrumentation is dead")
+	} else {
+		t.Logf("evaluated %d assertions", n)
+	}
+}
+
+// TestScheduleOrderingCheckRejects proves checkScheduleOrdering detects real
+// violations: a schedule missing a txn's commit, and one with reordered
+// writes, must both fail.
+func TestScheduleOrderingCheckRejects(t *testing.T) {
+	sets := MapHistory(appendixCHistory())
+	good := MadeusSchedule(sets).Ops
+	if err := checkScheduleOrdering(sets, good); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+
+	truncated := good[:len(good)-1]
+	if err := checkScheduleOrdering(sets, truncated); err == nil {
+		t.Fatal("schedule missing a commit accepted")
+	}
+
+	swapped := make([]Op, len(good))
+	copy(swapped, good)
+	// Swap the first two ops of the same transaction to break FIFO order.
+	for i := 0; i < len(swapped)-1; i++ {
+		j := -1
+		for k := i + 1; k < len(swapped); k++ {
+			if swapped[k].Txn == swapped[i].Txn {
+				j = k
+				break
+			}
+		}
+		if j < 0 {
+			continue
+		}
+		swapped[i], swapped[j] = swapped[j], swapped[i]
+		break
+	}
+	if err := checkScheduleOrdering(sets, swapped); err == nil {
+		t.Fatal("out-of-order schedule accepted")
+	}
+}

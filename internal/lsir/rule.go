@@ -3,6 +3,8 @@ package lsir
 import (
 	"fmt"
 	"sort"
+
+	"madeus/internal/invariant"
 )
 
 // Schedule is a candidate slave schedule: a total order over syncset
@@ -158,7 +160,40 @@ func MadeusSchedule(sets []Syncset) Schedule {
 		flushCommits(bound)
 	}
 	flushCommits(int(^uint(0) >> 1))
+	// The conductor/player schedule must itself be well-formed: every
+	// syncset appears as its exact FIFO op sequence with the commit last
+	// (invariants builds re-verify this on every schedule built).
+	invariant.Check(func() error { return checkScheduleOrdering(sets, out) })
 	return Schedule{Ops: out}
+}
+
+// checkScheduleOrdering verifies that out contains, for each syncset, its
+// preserved operations as an exact subsequence in syncset (FIFO) order, with
+// the transaction's commit as its final operation, and nothing else.
+func checkScheduleOrdering(sets []Syncset, out []Op) error {
+	perTxn := make(map[int][]Op)
+	for _, op := range out {
+		perTxn[op.Txn] = append(perTxn[op.Txn], op)
+	}
+	for _, ss := range sets {
+		got := perTxn[ss.Txn]
+		if len(got) != len(ss.Ops) {
+			return fmt.Errorf("lsir: schedule has %d ops for txn %d, syncset has %d", len(got), ss.Txn, len(ss.Ops))
+		}
+		for i, want := range ss.Ops {
+			if got[i].Kind != want.Kind || got[i].Item != want.Item {
+				return fmt.Errorf("lsir: txn %d op %d scheduled as %v, syncset order says %v", ss.Txn, i, got[i], want)
+			}
+		}
+		if n := len(got); n > 0 && got[n-1].Kind != OpCommit {
+			return fmt.Errorf("lsir: txn %d schedule does not end with its commit", ss.Txn)
+		}
+		delete(perTxn, ss.Txn)
+	}
+	for txn := range perTxn {
+		return fmt.Errorf("lsir: schedule contains ops for unknown txn %d", txn)
+	}
+	return nil
 }
 
 // CommitBatches reports the group-commit batches the Madeus schedule

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"madeus/internal/invariant"
 )
 
 // TxnID identifies a transaction within one tenant database.
@@ -130,6 +132,8 @@ func (t *Txn) Commit() (CSN, error) {
 	m.lastCSN++
 	csn := m.lastCSN
 	st := m.states[t.ID]
+	invariant.Assert(st != nil && st.status == StatusActive, "mvcc: commit of a non-active transaction")
+	invariant.Assertf(csn > t.Snapshot, "mvcc: CSN %d not beyond snapshot %d", csn, t.Snapshot)
 	st.status = StatusCommitted
 	st.csn = csn
 	m.mu.Unlock()
@@ -146,7 +150,9 @@ func (t *Txn) Abort() error {
 	t.done = true
 	m := t.mgr
 	m.mu.Lock()
-	m.states[t.ID].status = StatusAborted
+	st := m.states[t.ID]
+	invariant.Assert(st != nil && st.status == StatusActive, "mvcc: abort of a non-active transaction")
+	st.status = StatusAborted
 	m.mu.Unlock()
 	t.releaseLocks()
 	return nil
@@ -174,6 +180,7 @@ func (t *Txn) lockTimeout() time.Duration {
 
 // visible implements the SI visibility rule for one version.
 func (t *Txn) visible(v *version) bool {
+	invariant.Assert(v.xmin != 0, "mvcc: version without a creator transaction")
 	// Creator check.
 	if v.xmin == t.ID {
 		// Own write — visible unless deleted by self.

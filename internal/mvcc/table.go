@@ -1,10 +1,12 @@
 package mvcc
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"madeus/internal/invariant"
 	"madeus/internal/sqlmini"
 	"madeus/internal/storage"
 )
@@ -68,7 +70,25 @@ func (tb *Table) Get(t *Txn, pk sqlmini.Value) storage.Row {
 	}
 	ch.mu.Lock()
 	defer ch.mu.Unlock()
+	// SI sanity: a snapshot sees at most one version per logical row.
+	invariant.Check(func() error { return ch.checkAtMostOneVisible(t) })
 	return ch.visibleRow(t)
+}
+
+// checkAtMostOneVisible verifies the snapshot-isolation guarantee that a
+// transaction's snapshot exposes at most one version of each logical row.
+// Caller holds ch.mu. Invariants builds only.
+func (ch *rowChain) checkAtMostOneVisible(t *Txn) error {
+	n := 0
+	for i := range ch.versions {
+		if t.visible(&ch.versions[i]) {
+			n++
+		}
+	}
+	if n > 1 {
+		return fmt.Errorf("mvcc: %d versions of one row visible to txn %d (snapshot %d)", n, t.ID, t.Snapshot)
+	}
+	return nil
 }
 
 // visibleRow returns (a clone of) the visible version in ch, newest first.
@@ -227,6 +247,14 @@ func (tb *Table) write(t *Txn, pk sqlmini.Value, newRow storage.Row, del bool) (
 		return false, nil
 	}
 	ch.acquire(t)
+	// First-updater-wins must hold at the moment of superseding: with the
+	// row lock ours, no concurrent committed winner may exist.
+	invariant.Check(func() error {
+		if ch.committedAfter(t) {
+			return fmt.Errorf("mvcc: txn %d superseding a row with a committed-after-snapshot version", t.ID)
+		}
+		return nil
+	})
 	ch.versions[idx].xmax = t.ID
 	if !del {
 		ch.versions = append(ch.versions, version{xmin: t.ID, row: newRow.Clone()})
@@ -268,6 +296,8 @@ func (ch *rowChain) committedAfter(t *Txn) bool {
 
 // acquire takes the row lock for t (idempotent). Caller holds ch.mu.
 func (ch *rowChain) acquire(t *Txn) {
+	invariant.Assertf(ch.lockOwner == 0 || ch.lockOwner == t.ID,
+		"mvcc: txn %d acquiring a row lock held by txn %d", t.ID, ch.lockOwner)
 	if ch.lockOwner == t.ID {
 		return
 	}

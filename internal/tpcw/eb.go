@@ -59,7 +59,7 @@ func (eb *EB) Run(ctx context.Context, conn Execer, rec *metrics.Recorder) error
 			// The transaction failed server-side (commonly a
 			// first-updater-wins serialization abort); roll back
 			// and move on to the next interaction.
-			conn.Exec("ROLLBACK") //nolint:errcheck
+			_, _ = conn.Exec("ROLLBACK") // best-effort cleanup
 			rec.ObserveError()
 		default:
 			if ctx.Err() != nil {

@@ -1,0 +1,64 @@
+//go:build invariants
+
+package wal
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"madeus/internal/invariant"
+)
+
+// TestInvariantsExercised proves the tag-gated assertions in this package
+// actually run: Append's LSN-monotonicity check, the committer's batch and
+// fsync-accounting checks, and serial mode's noteBatch check all bump the
+// invariant counter.
+func TestInvariantsExercised(t *testing.T) {
+	invariant.Reset()
+
+	l := New(Options{Mode: GroupCommit, RetainRecords: 16})
+	for i := 0; i < 8; i++ {
+		l.Append(Record{TxnID: uint64(i), Kind: RecInsert, DB: "db", Table: "t"})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := l.Commit(); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	l.Close()
+
+	s := New(Options{Mode: SerialCommit, SyncDelay: time.Microsecond})
+	if err := s.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if n := invariant.Count(); n == 0 {
+		t.Fatal("no invariant assertions were evaluated; instrumentation is dead")
+	} else {
+		t.Logf("evaluated %d assertions", n)
+	}
+}
+
+// TestLSNMonotonicViolationPanics proves the assertion is live, not just
+// counted: a doctored retained prefix with a future LSN must panic.
+func TestLSNMonotonicViolationPanics(t *testing.T) {
+	l := New(Options{Mode: GroupCommit, RetainRecords: 4})
+	defer l.Close()
+	l.mu.Lock()
+	l.retained = append(l.retained, Record{LSN: 1 << 40})
+	l.mu.Unlock()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the LSN monotonicity assertion to panic")
+		}
+	}()
+	l.Append(Record{Kind: RecInsert})
+}

@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"madeus/internal/invariant"
 	"madeus/internal/simlat"
 )
 
@@ -54,8 +55,11 @@ const (
 )
 
 // Record is one WAL entry. Data is an opaque rendering of the change
-// (the engine stores the normalized SQL).
+// (the engine stores the normalized SQL). LSN is assigned by Append: a
+// strictly increasing log sequence number (the invariants build asserts
+// monotonicity over the retained prefix).
 type Record struct {
+	LSN   uint64
 	TxnID uint64
 	Kind  RecordKind
 	DB    string
@@ -117,12 +121,16 @@ func New(opts Options) *Log {
 	return l
 }
 
-// Append buffers a record. It does not sync.
+// Append buffers a record, assigning its LSN. It does not sync.
 func (l *Log) Append(rec Record) {
-	l.records.Add(1)
+	rec.LSN = l.records.Add(1)
 	if l.opts.RetainRecords > 0 {
 		l.mu.Lock()
-		if len(l.retained) < l.opts.RetainRecords {
+		if n := len(l.retained); n < l.opts.RetainRecords {
+			if n > 0 {
+				invariant.Assertf(rec.LSN > l.retained[n-1].LSN,
+					"wal: LSN %d not monotonic (last retained %d)", rec.LSN, l.retained[n-1].LSN)
+			}
 			l.retained = append(l.retained, rec)
 		}
 		l.mu.Unlock()
@@ -144,6 +152,9 @@ func (l *Log) Commit() error {
 	l.commits.Add(1)
 	if l.opts.Mode == SerialCommit {
 		l.mu.Lock()
+		// Serial mode models an EXCLUSIVE fsync per commit — holding the
+		// log mutex across it is the modeled cost (B-CON's baseline).
+		//madeusvet:ignore lockdiscipline serial mode holds the log mutex across the modeled fsync by design
 		l.fsync()
 		l.noteBatch(1)
 		l.mu.Unlock()
@@ -186,6 +197,16 @@ func (l *Log) committer() {
 			}
 		}
 		l.fsync()
+		// Group-commit accounting invariants: a batch covers at least one
+		// commit, and no fsync ever happens without a commit to cover —
+		// the C'_c < C_c inequality the paper's Sec 4.5.2 rests on.
+		invariant.Assertf(len(batch) >= 1, "wal: empty group-commit batch")
+		invariant.Check(func() error {
+			if f, c := l.fsyncs.Load(), l.commits.Load(); f > c {
+				return fmt.Errorf("wal: %d fsyncs exceed %d commit requests", f, c)
+			}
+			return nil
+		})
 		l.noteBatch(len(batch))
 		for _, done := range batch {
 			close(done)
@@ -199,6 +220,7 @@ func (l *Log) fsync() {
 }
 
 func (l *Log) noteBatch(n int) {
+	invariant.Assertf(n >= 1, "wal: batch of %d commits noted", n)
 	if l.opts.Mode == SerialCommit {
 		// mu already held by Commit.
 		if n > l.maxBatch {

@@ -91,9 +91,10 @@ func (c *Client) Exec(sql string) (*engine.Result, error) {
 	return nil, fmt.Errorf("wire: unexpected response type %q", typ)
 }
 
-// Close terminates the session and the connection.
+// Close terminates the session and the connection. The terminate message is
+// best-effort: the connection is closed regardless.
 func (c *Client) Close() error {
-	writeMsg(c.bw, MsgTerminate, nil)
-	c.bw.Flush()
+	_ = writeMsg(c.bw, MsgTerminate, nil)
+	_ = c.bw.Flush()
 	return c.conn.Close()
 }

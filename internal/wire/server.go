@@ -109,8 +109,9 @@ func (s *Server) serve(conn net.Conn) {
 	}
 	sess, err := s.handler.Connect(string(payload))
 	if err != nil {
-		writeMsg(bw, MsgError, []byte(err.Error()))
-		bw.Flush()
+		// Best-effort rejection notice; the connection closes either way.
+		_ = writeMsg(bw, MsgError, []byte(err.Error()))
+		_ = bw.Flush()
 		return
 	}
 	defer sess.Close()
@@ -143,8 +144,9 @@ func (s *Server) serve(conn net.Conn) {
 		case MsgTerminate:
 			return
 		default:
-			writeMsg(bw, MsgError, []byte("wire: unexpected message type"))
-			bw.Flush()
+			// Best-effort protocol error before hanging up.
+			_ = writeMsg(bw, MsgError, []byte("wire: unexpected message type"))
+			_ = bw.Flush()
 			return
 		}
 	}

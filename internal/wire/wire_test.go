@@ -12,10 +12,14 @@ import (
 
 	"madeus/internal/engine"
 	"madeus/internal/sqlmini"
+	"madeus/internal/testutil"
 )
 
 func newServer(t *testing.T) (*engine.Engine, *Server) {
 	t.Helper()
+	// Registered before the engine/server cleanups so it runs after them
+	// (LIFO) and sees the fully torn-down state.
+	testutil.CheckGoroutines(t)
 	e := engine.New(engine.Options{})
 	t.Cleanup(e.Close)
 	if err := e.CreateDatabase("db"); err != nil {

@@ -1,0 +1,56 @@
+package madeus
+
+import (
+	"fmt"
+	"testing"
+
+	"madeus/internal/invariant"
+)
+
+// TestInvariantZeroOverhead guards the design contract of internal/invariant:
+// without the `invariants` build tag, Assert must inline to nothing, so a hot
+// loop with an assertion costs the same as the bare loop. The comparison is
+// deliberately lenient (3x + retries) — it exists to catch the package
+// regressing into real per-call work (a function call that no longer
+// inlines, a map lookup, an atomic), not to police nanoseconds.
+func TestInvariantZeroOverhead(t *testing.T) {
+	if invariant.Enabled {
+		t.Skip("invariants tag active: assertions intentionally do work")
+	}
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+
+	var sink uint64
+	bare := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	}
+	asserted := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			invariant.Assert(sink >= 0, "sink underflow")
+			invariant.Assertf(i >= 0, "negative loop index %d", i)
+			sink += uint64(i)
+		}
+	}
+
+	// Timing on a shared machine is noisy; pass if ANY attempt lands under
+	// the (already generous) ratio.
+	const attempts = 5
+	var last string
+	for try := 0; try < attempts; try++ {
+		rBare := testing.Benchmark(bare)
+		rAsserted := testing.Benchmark(asserted)
+		nsBare := float64(rBare.NsPerOp())
+		nsAsserted := float64(rAsserted.NsPerOp())
+		if nsBare <= 0 {
+			nsBare = 0.1
+		}
+		if nsAsserted <= 3*nsBare+1 {
+			return
+		}
+		last = fmt.Sprintf("%.1fns/op vs %.1fns/op (%.1fx)", nsAsserted, nsBare, nsAsserted/nsBare)
+	}
+	t.Fatalf("no-tag invariant.Assert is not free: asserted loop ran at %s across %d attempts", last, attempts)
+}
