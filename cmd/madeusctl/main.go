@@ -28,6 +28,24 @@ func main() {
 	switch args[0] {
 	case "status":
 		cmd = "STATUS"
+	case "stats":
+		switch len(args) {
+		case 1:
+			cmd = "STATS"
+		case 2:
+			cmd = "STATS " + args[1]
+		default:
+			usage()
+		}
+	case "events":
+		switch len(args) {
+		case 1:
+			cmd = "EVENTS"
+		case 2:
+			cmd = "EVENTS " + args[1]
+		default:
+			usage()
+		}
 	case "add-tenant":
 		if len(args) != 3 {
 			usage()
@@ -71,7 +89,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: madeusctl [-addr host:port] <command>
 commands:
-  status                          list tenants and their nodes
+  status                          list tenants, nodes, and migration state
+  stats [tenant]                  process-wide metrics, or one tenant's monitor
+  events [n]                      tail of the migration event trace (default 50)
   add-tenant <tenant> <node>      provision a tenant on a node
   migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)`)
 	os.Exit(2)

@@ -18,6 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -27,6 +29,7 @@ import (
 	"madeus/internal/cluster"
 	"madeus/internal/core"
 	"madeus/internal/engine"
+	"madeus/internal/obs"
 	"madeus/internal/wal"
 )
 
@@ -43,6 +46,7 @@ func main() {
 		players   = flag.Int("players", 64, "max concurrent propagation players")
 		catchup   = flag.Duration("catchup", 2*time.Minute, "catch-up timeout before a migration reports N/A")
 		fsync     = flag.Duration("fsync", 2*time.Millisecond, "fsync latency for -localnode engines")
+		debugAddr = flag.String("debug", "", "serve /debug/madeus JSON stats on this address (empty: disabled)")
 	)
 	flag.Var(&nodes, "node", "remote DBMS node as name=addr (repeatable)")
 	flag.Var(&localNodes, "localnode", "boot an in-process DBMS node with this name (repeatable)")
@@ -94,6 +98,22 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		srv := &http.Server{Handler: obs.Handler(obs.Default, obs.Trace)}
+		//madeusvet:ignore goroleak Serve returns ErrServerClosed when the deferred srv.Close runs at shutdown
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "madeusd: debug server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("madeusd: debug stats at http://%s/debug/madeus\n", ln.Addr())
 	}
 
 	fmt.Printf("madeusd listening on %s (tenants: %v)\n", mw.Addr(), mw.Tenants())

@@ -19,9 +19,13 @@ var ErrDrop = &Analyzer{
 	Run:  runErrDrop,
 }
 
-// riskyVerbs are the commit/WAL/wire path markers.
+// riskyVerbs are the commit/WAL/wire path markers. "encode" covers the
+// observability snapshot encoders (obs.WriteJSON and friends): a stats
+// surface that silently truncates its output misleads the operator reading
+// it, so those writer errors must be handled or visibly discarded too.
 var riskyVerbs = []string{
 	"commit", "exec", "flush", "sync", "write", "send", "append", "rollback", "relay", "restore",
+	"encode",
 }
 
 func runErrDrop(pass *Pass) {

@@ -4,6 +4,7 @@ package errdrop
 
 import (
 	"errors"
+	"io"
 	"strings"
 )
 
@@ -64,4 +65,49 @@ func builderWrites() string {
 	b.WriteString("hello")
 	b.WriteByte(' ')
 	return b.String()
+}
+
+// sink mirrors the internal/obs surfaces: Emit is fire-and-forget (no error
+// result — nothing to drop), while the snapshot encoders return the
+// destination writer's error.
+type sink struct{}
+
+// Emit records an event; it cannot fail.
+func (sink) Emit(name string) {}
+
+// WriteJSON encodes a snapshot to w ("write" verb).
+func (sink) WriteJSON(w io.Writer) error {
+	_, err := w.Write([]byte("{}"))
+	return err
+}
+
+// EncodeEvents streams the event tail to w ("encode" verb).
+func (sink) EncodeEvents(w io.Writer) error {
+	_, err := w.Write([]byte("[]"))
+	return err
+}
+
+// emitNoError calls the no-error emit path; the type checker clears it.
+func emitNoError(s sink) {
+	s.Emit("migrate.begin")
+}
+
+// dropsWriteJSON silently discards the encoder's writer error.
+func dropsWriteJSON(s sink, w io.Writer) {
+	s.WriteJSON(w) // want
+}
+
+// dropsEncodeEvents exercises the "encode" verb.
+func dropsEncodeEvents(s sink, w io.Writer) {
+	s.EncodeEvents(w) // want
+}
+
+// encodeHandled returns the encoder error to the caller.
+func encodeHandled(s sink, w io.Writer) error {
+	return s.EncodeEvents(w)
+}
+
+// encodeDiscarded uses the accepted explicit form.
+func encodeDiscarded(s sink, w io.Writer) {
+	_ = s.WriteJSON(w)
 }

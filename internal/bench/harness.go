@@ -113,8 +113,11 @@ func (h *Harness) StartWorkload(tenant string, ebs int, mix tpcw.Mix, scale tpcw
 	return w
 }
 
-// Stop cancels the fleet and waits for it to settle.
+// Stop cancels the fleet and waits for it to settle. The recorder is closed
+// first so stragglers finishing after the measurement window are counted as
+// dropped instead of skewing the series.
 func (w *Workload) Stop() error {
+	w.Rec.Close()
 	w.cancel()
 	return <-w.done
 }

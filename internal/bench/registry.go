@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"madeus/internal/core"
 )
 
 // Experiment is one registered regenerator for a paper figure or table.
@@ -91,8 +93,23 @@ func runTimeline(cfg Config, w io.Writer) error {
 		return err
 	}
 	res.Table.Fprint(w)
-	fmt.Fprintf(w, "  migration report: %s\n\n", res.Report)
+	fmt.Fprintf(w, "  migration report: %s\n", res.Report)
+	printMigrationTimeline(res.Report, w)
+	fmt.Fprintln(w)
 	return nil
+}
+
+// printMigrationTimeline renders the event-tracer view of the migration:
+// the Step 1-4 spans (with the exact Step-4 suspension window) and the
+// periodic lag/debt samples recorded during propagation.
+func printMigrationTimeline(rep *core.Report, w io.Writer) {
+	if rep == nil || len(rep.Timeline) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "  migration timeline:")
+	for _, e := range rep.Timeline {
+		fmt.Fprintf(w, "    %s\n", e)
+	}
 }
 
 func runFig9Table3(cfg Config, w io.Writer) error {
@@ -112,7 +129,9 @@ func printMultiTenant(res *MultiTenantResult, w io.Writer) {
 			ts.Fprint(w)
 		}
 	}
-	fmt.Fprintf(w, "  migration report: %s\n\n", res.Report)
+	fmt.Fprintf(w, "  migration report: %s\n", res.Report)
+	printMigrationTimeline(res.Report, w)
+	fmt.Fprintln(w)
 }
 
 // RunByID executes one experiment.

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"madeus/internal/engine"
+	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
 )
 
@@ -19,6 +21,8 @@ const AdminDB = "_admin"
 //	ADD TENANT <tenant> ON <node>
 //	MIGRATE <tenant> TO <node> [STRATEGY <B-ALL|B-MIN|B-CON|Madeus>]
 //	STATUS
+//	STATS [tenant]
+//	EVENTS [n]
 type adminConn struct {
 	mw *Middleware
 }
@@ -68,22 +72,115 @@ func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
 		}, nil
 
 	case len(fields) == 1 && upper[0] == "STATUS":
-		res := &engine.Result{Columns: []string{"tenant", "node", "mlc"}, Tag: "STATUS"}
+		res := &engine.Result{
+			Columns: []string{"tenant", "node", "mlc", "state", "lag", "debt"},
+			Tag:     "STATUS",
+		}
 		for _, name := range a.mw.Tenants() {
 			t, ok := a.mw.Tenant(name)
 			if !ok {
 				continue
 			}
 			node, _ := t.Node()
+			phase, lag, debt := t.Progress()
 			res.Rows = append(res.Rows, []sqlmini.Value{
 				sqlmini.NewText(name),
 				sqlmini.NewText(node.BackendName()),
 				sqlmini.NewInt(int64(t.MLC())),
+				sqlmini.NewText(phase),
+				sqlmini.NewInt(int64(lag)),
+				sqlmini.NewInt(int64(debt)),
 			})
 		}
 		return res, nil
+
+	case len(fields) >= 1 && upper[0] == "STATS":
+		switch len(fields) {
+		case 1:
+			return a.execStats()
+		case 2:
+			return a.execTenantStats(fields[1])
+		}
+		return nil, fmt.Errorf("core: usage: STATS [tenant]")
+
+	case len(fields) >= 1 && upper[0] == "EVENTS":
+		n := 50
+		if len(fields) == 2 {
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("core: usage: EVENTS [n] (n > 0)")
+			}
+			n = v
+		} else if len(fields) != 1 {
+			return nil, fmt.Errorf("core: usage: EVENTS [n]")
+		}
+		return a.execEvents(n)
 	}
 	return nil, fmt.Errorf("core: unknown admin command %q", cmd)
+}
+
+// execStats renders the process-wide metric registry (STATS).
+func (a *adminConn) execStats() (*engine.Result, error) {
+	res := &engine.Result{Columns: []string{"metric", "value"}, Tag: "STATS"}
+	for _, m := range obs.Default.Snapshot() {
+		res.Rows = append(res.Rows, []sqlmini.Value{
+			sqlmini.NewText(m.Name),
+			sqlmini.NewText(m.Render()),
+		})
+	}
+	return res, nil
+}
+
+// execTenantStats renders one tenant's live monitor (STATS <tenant>).
+func (a *adminConn) execTenantStats(tenant string) (*engine.Result, error) {
+	t, ok := a.mw.Tenant(tenant)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown tenant %q", tenant)
+	}
+	mon := t.Monitor()
+	res := &engine.Result{Columns: []string{"field", "value"}, Tag: "STATS"}
+	row := func(k, v string) {
+		res.Rows = append(res.Rows, []sqlmini.Value{sqlmini.NewText(k), sqlmini.NewText(v)})
+	}
+	row("tenant", tenant)
+	row("node", mon.Node)
+	row("mlc", strconv.FormatUint(mon.MLC, 10))
+	row("state", mon.Phase)
+	row("lag", strconv.Itoa(mon.Lag))
+	row("debt", strconv.Itoa(mon.Debt))
+	row("ssl_depth", strconv.Itoa(mon.SSLDepth))
+	row("active_txns", strconv.Itoa(mon.ActiveTxns))
+	row("captured_ssbs", strconv.Itoa(mon.CapturedSSBs))
+	row("captured_ops", strconv.Itoa(mon.CapturedOps))
+	return res, nil
+}
+
+// execEvents renders the tail of the migration event trace (EVENTS [n]).
+func (a *adminConn) execEvents(n int) (*engine.Result, error) {
+	res := &engine.Result{
+		Columns: []string{"seq", "at", "tenant", "event", "detail"},
+		Tag:     "EVENTS",
+	}
+	for _, e := range obs.Trace.Last(n) {
+		var detail strings.Builder
+		if e.Dur > 0 {
+			fmt.Fprintf(&detail, "dur=%v", e.Dur)
+		}
+		for _, f := range e.Fields {
+			if detail.Len() > 0 {
+				detail.WriteByte(' ')
+			}
+			fmt.Fprintf(&detail, "%s=%s", f.Key, f.Value)
+		}
+		res.Rows = append(res.Rows, []sqlmini.Value{
+			sqlmini.NewInt(int64(e.Seq)),
+			sqlmini.NewText(e.At.Format("15:04:05.000")),
+			sqlmini.NewText(e.Tenant),
+			sqlmini.NewText(e.Name),
+			sqlmini.NewText(detail.String()),
+		})
+	}
+	return res, nil
 }
 
 // ParseStrategy converts a strategy name (as printed by String) to its

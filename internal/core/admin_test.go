@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"madeus/internal/engine"
+	"madeus/internal/obs"
 )
 
 func TestAdminChannel(t *testing.T) {
@@ -20,13 +21,25 @@ func TestAdminChannel(t *testing.T) {
 	mustExecAll(t, c, "CREATE TABLE t (id INT PRIMARY KEY)", "INSERT INTO t (id) VALUES (1)")
 	c.Close()
 
-	// STATUS lists the tenant on node0.
+	// STATUS lists the tenant on node0 with its migration state columns.
 	res, err := admin.Exec("STATUS")
 	if err != nil {
 		t.Fatal(err)
 	}
+	wantCols := []string{"tenant", "node", "mlc", "state", "lag", "debt"}
+	if len(res.Columns) != len(wantCols) {
+		t.Fatalf("STATUS columns = %v, want %v", res.Columns, wantCols)
+	}
+	for i, c := range wantCols {
+		if res.Columns[i] != c {
+			t.Fatalf("STATUS columns = %v, want %v", res.Columns, wantCols)
+		}
+	}
 	if len(res.Rows) != 1 || res.Rows[0][0].Str != "shop" || res.Rows[0][1].Str != "node0" {
 		t.Fatalf("STATUS rows = %v", res.Rows)
+	}
+	if res.Rows[0][3].Str != "idle" || res.Rows[0][4].Int != 0 || res.Rows[0][5].Int != 0 {
+		t.Fatalf("idle tenant state = %v", res.Rows[0][3:])
 	}
 
 	// Migrate via the control channel.
@@ -43,6 +56,85 @@ func TestAdminChannel(t *testing.T) {
 	}
 	if res.Rows[0][1].Str != "node1" {
 		t.Errorf("tenant still on %s", res.Rows[0][1].Str)
+	}
+}
+
+func TestAdminStatsAndEvents(t *testing.T) {
+	rig := newRig(t, 1, engine.Options{})
+	admin := rig.connect(t, AdminDB)
+	defer admin.Close()
+	if _, err := admin.Exec("ADD TENANT shop ON node0"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Process-wide STATS includes the core worker counter.
+	res, err := admin.Exec("STATS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 2 || res.Columns[0] != "metric" {
+		t.Fatalf("STATS columns = %v", res.Columns)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].Str == "core.worker.ops" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("STATS missing core.worker.ops; %d rows", len(res.Rows))
+	}
+
+	// Per-tenant STATS reflects the published migration phase.
+	tn, _ := rig.mw.Tenant("shop")
+	tn.setProgress("step3.propagate", nil)
+	res, err = admin.Exec("STATS shop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row[0].Str] = row[1].Str
+	}
+	if got["tenant"] != "shop" || got["node"] != "node0" || got["state"] != "step3.propagate" {
+		t.Fatalf("STATS shop = %v", got)
+	}
+	// STATUS mirrors the same live phase.
+	res, err = admin.Exec("STATUS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][3].Str != "step3.propagate" {
+		t.Fatalf("STATUS state = %v", res.Rows[0][3].Str)
+	}
+	tn.setProgress("", nil)
+
+	if _, err := admin.Exec("STATS nope"); err == nil {
+		t.Error("STATS nope: want error")
+	}
+
+	// EVENTS tails the tracer.
+	obs.Trace.Emit("shop", "admintest.ping", obs.F("k", "v"))
+	res, err = admin.Exec("EVENTS 500")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) != 5 || res.Columns[3] != "event" {
+		t.Fatalf("EVENTS columns = %v", res.Columns)
+	}
+	found = false
+	for _, row := range res.Rows {
+		if row[3].Str == "admintest.ping" && row[2].Str == "shop" && row[4].Str == "k=v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("EVENTS missing admintest.ping in %d rows", len(res.Rows))
+	}
+	for _, bad := range []string{"EVENTS 0", "EVENTS -3", "EVENTS x", "EVENTS 1 2"} {
+		if _, err := admin.Exec(bad); err == nil {
+			t.Errorf("Exec(%q): want error", bad)
+		}
 	}
 }
 

@@ -188,12 +188,15 @@ func (p *propagator) markApplied(ops int) {
 	p.applied++
 	p.ops += ops
 	p.mu.Unlock()
+	obsSyncsetsApplied.Inc()
+	obsPropOps.Add(uint64(ops))
 }
 
 func (p *propagator) noteGroup(n int) {
 	p.mu.Lock()
 	p.stats.CommitGroups = append(p.stats.CommitGroups, n)
 	p.mu.Unlock()
+	obsGroupSize.Observe(int64(n))
 }
 
 // --- connection pool ---
@@ -477,6 +480,8 @@ func (p *propagator) flushCommits(batch []*runState) error {
 // player replays one syncset on the slave (Algorithm 5): first operation,
 // writes in FIFO order, then the commit when the conductor orders it.
 func (p *propagator) player(r *runState) {
+	obsPlayersActive.Inc()
+	defer obsPlayersActive.Dec()
 	firstClosed, writesClosed := false, false
 	var conn *wire.Client
 	defer func() {

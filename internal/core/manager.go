@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
 )
 
@@ -63,7 +64,17 @@ type Report struct {
 	// MTS is the migration timestamp: the MLC at the snapshot.
 	MTS uint64
 
+	// SuspensionWindow is the Step-4 interval during which new customer
+	// transactions were gated (suspend → drain → switch → resume): the
+	// paper's service-suspension metric, Fig 7's terminal dip.
+	SuspensionWindow time.Duration
+
 	Propagation PropagationStats
+
+	// Timeline is the migration's event trace (Step 1-4 spans, lag/debt
+	// samples, discards) as recorded by obs.Trace; benchrunner prints it
+	// for Fig 7/8 runs.
+	Timeline []obs.Event
 
 	// Discarded lists slaves dropped mid-migration after a failure
 	// (multi-slave migrations only).
@@ -140,6 +151,13 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	}
 	t.mu.Unlock()
 
+	// Bookmark the tracer so the report's Timeline carries exactly this
+	// migration's events.
+	seq0 := obs.Trace.Seq()
+	obsMigStarted.Inc()
+	obs.Trace.Emit(tenantName, "migrate.begin",
+		obs.F("source", rep.Source), obs.F("dest", destName), obs.F("strategy", opts.Strategy))
+
 	// Capture starts before the snapshot so operations racing the dump
 	// are saved (Step 1: "Madeus saves the operations as a syncset").
 	t.startCapture(opts.Strategy.captureAll())
@@ -147,9 +165,13 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	fail := func(err error) (*Report, error) {
 		t.stopCapture()
 		t.setGate(false)
+		t.setProgress("", nil)
 		rep.Failed = true
 		rep.Err = err
 		rep.End = time.Now()
+		obsMigFailed.Inc()
+		obs.Trace.Emit(tenantName, "migrate.failed", obs.F("err", err))
+		rep.Timeline = obs.Trace.Since(seq0, tenantName)
 		// Discard the partial slaves, if any.
 		for _, sl := range slaves {
 			dropDatabase(sl, tenantName)
@@ -158,9 +180,12 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	}
 
 	// --- Step 1: create a snapshot ---
+	t.setProgress("step1.snapshot", nil)
 	phase := time.Now()
+	drainSpan := obs.Trace.Start(tenantName, "step1.drain")
 	t.setGate(true)
 	t.drainActive()
+	drainSpan.End()
 	rep.DrainTime = time.Since(phase)
 
 	ctl, err := source.Connect(tenantName)
@@ -172,6 +197,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		return fail(err)
 	}
 	phase = time.Now()
+	dumpSpan := obs.Trace.Start(tenantName, "step1.dump")
 	// Critical region: no commits or first operations execute while the
 	// dump transaction pins its snapshot and the MTS is recorded
 	// (Algorithm 3, lines 1-5).
@@ -185,6 +211,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		return fail(err)
 	}
 	rep.MTS = mts
+	obs.Trace.Emit(tenantName, "step1.mts", obs.F("mts", mts))
 	t.setGate(false) // customers resume while the dump streams
 
 	dump, err := ctl.Exec("DUMP")
@@ -195,9 +222,12 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		return fail(err)
 	}
 	rep.SnapshotTime = time.Since(phase)
+	dumpSpan.End(obs.F("rows", len(dump.Rows)))
 
 	// --- Step 2: create the slaves (in parallel when backups exist) ---
+	t.setProgress("step2.restore", nil)
 	phase = time.Now()
+	restoreSpan := obs.Trace.Start(tenantName, "step2.restore")
 	restoreErrs := make(chan error, len(slaves))
 	for _, sl := range slaves {
 		go func(sl Backend) { restoreErrs <- restoreSlave(sl, tenantName, dump.Rows) }(sl)
@@ -208,9 +238,11 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		}
 	}
 	rep.RestoreTime = time.Since(phase)
+	restoreSpan.End(obs.F("slaves", len(slaves)))
 
 	// --- Step 3: propagate syncsets (one propagator per slave) ---
 	phase = time.Now()
+	propSpan := obs.Trace.Start(tenantName, "step3.propagate")
 	herdSpin := m.opts.BConHerdSpin
 	if herdSpin < 0 {
 		herdSpin = 0
@@ -218,7 +250,9 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	props := make(map[Backend]*propagator, len(slaves))
 	for _, sl := range slaves {
 		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin)
+		obs.Trace.Emit(tenantName, "step3.slave.begin", obs.F("slave", sl.BackendName()))
 	}
+	t.setProgress("step3.propagate", props[slaves[0]])
 	abortAll := func() {
 		for _, p := range props {
 			p.Abort()
@@ -237,6 +271,8 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 				delete(props, sl)
 				dropDatabase(sl, tenantName)
 				rep.Discarded = append(rep.Discarded, sl.BackendName())
+				obs.Trace.Emit(tenantName, "step3.slave.discarded",
+					obs.F("slave", sl.BackendName()), obs.F("err", err))
 				continue
 			}
 			live = append(live, sl)
@@ -254,13 +290,29 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	// transaction resolves, so the criterion must hold continuously. With
 	// backups, the promotion candidate (slaves[0]) must catch up.
 	const sustain = 500 * time.Millisecond
+	const sampleEvery = 200 * time.Millisecond
 	var lowSince time.Time
+	var lastSample time.Time
 	for {
+		nSlaves := len(slaves)
 		discardFailed()
 		if len(slaves) == 0 {
 			return failProp(fmt.Errorf("core: every slave failed during propagation"))
 		}
-		if props[slaves[0]].Debt() <= opts.CatchupLag {
+		primary := props[slaves[0]]
+		if len(slaves) != nSlaves {
+			// The promotion candidate may have changed; repoint the
+			// monitoring surface at the new primary.
+			t.setProgress("step3.propagate", primary)
+		}
+		debt := primary.Debt()
+		if time.Since(lastSample) >= sampleEvery {
+			lastSample = time.Now()
+			obs.Trace.Emit(tenantName, "step3.sample",
+				obs.F("lag", primary.Lag()), obs.F("debt", debt),
+				obs.F("ssl", t.sslLen()), obs.F("applied", primary.Stats().Syncsets))
+		}
+		if debt <= opts.CatchupLag {
 			if lowSince.IsZero() {
 				lowSince = time.Now()
 			} else if time.Since(lowSince) >= sustain {
@@ -275,9 +327,13 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		time.Sleep(2 * time.Millisecond)
 	}
 	rep.PropagateTime = time.Since(phase)
+	propSpan.End(obs.F("syncsets", props[slaves[0]].Stats().Syncsets))
 
 	// --- Step 4: switch over ---
+	t.setProgress("step4.switchover", props[slaves[0]])
 	phase = time.Now()
+	switchSpan := obs.Trace.Start(tenantName, "step4.switchover")
+	suspendStart := time.Now()
 	t.setGate(true)
 	t.drainActive()
 	for _, p := range props {
@@ -291,13 +347,23 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		return fail(fmt.Errorf("core: every slave failed during the final drain"))
 	}
 	target := slaves[0]
+	promoted := target.BackendName() != destName
 	rep.Propagation = props[target].Stats()
 	t.switchOver(target)
 	t.stopCapture()
 	t.setGate(false)
+	rep.SuspensionWindow = time.Since(suspendStart)
 	rep.SwitchTime = time.Since(phase)
 	rep.Dest = target.BackendName()
 	rep.End = time.Now()
+	switchSpan.End(
+		obs.F("suspension", rep.SuspensionWindow),
+		obs.F("dest", rep.Dest), obs.F("promoted", promoted))
+	t.setProgress("", nil)
+	obsMigCompleted.Inc()
+	obs.Trace.Emit(tenantName, "migrate.end",
+		obs.F("total", rep.Total()), obs.F("syncsets", rep.Propagation.Syncsets))
+	rep.Timeline = obs.Trace.Since(seq0, tenantName)
 
 	if !opts.KeepSource {
 		dropDatabase(source, tenantName)
@@ -340,9 +406,10 @@ func (r *Report) String() string {
 	if r.Failed {
 		status = "FAILED: " + r.Err.Error()
 	}
-	return fmt.Sprintf("migrate %s %s->%s [%s] total=%v drain=%v snap=%v restore=%v propagate=%v switch=%v syncsets=%d maxGroup=%d %s",
+	return fmt.Sprintf("migrate %s %s->%s [%s] total=%v drain=%v snap=%v restore=%v propagate=%v switch=%v suspend=%v syncsets=%d maxGroup=%d %s",
 		r.Tenant, r.Source, r.Dest, r.Strategy, r.Total().Round(time.Millisecond),
 		r.DrainTime.Round(time.Millisecond), r.SnapshotTime.Round(time.Millisecond),
 		r.RestoreTime.Round(time.Millisecond), r.PropagateTime.Round(time.Millisecond),
-		r.SwitchTime.Round(time.Millisecond), r.Propagation.Syncsets, r.Propagation.MaxGroup, status)
+		r.SwitchTime.Round(time.Millisecond), r.SuspensionWindow.Round(time.Millisecond),
+		r.Propagation.Syncsets, r.Propagation.MaxGroup, status)
 }

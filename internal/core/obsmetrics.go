@@ -1,0 +1,29 @@
+package core
+
+import "madeus/internal/obs"
+
+// Process-wide middleware observability. Counters and histograms are the
+// hot-path side (worker relays, propagation players); the migration
+// lifecycle itself is traced as events through obs.Trace (see manager.go).
+var (
+	// Worker / normal processing (Algorithms 1-2).
+	obsWorkerOps  = obs.NewCounter("core.worker.ops", "customer operations relayed through workers")
+	obsWorkerTxns = obs.NewCounter("core.worker.txns", "customer transactions begun")
+	obsGateWait   = obs.NewHistogram("core.gate.wait", "time new transactions spent blocked at a migration gate", obs.DurationBuckets())
+	obsMLCAdvance = obs.NewCounter("core.mlc.advance", "MLC increments (update-transaction commits)")
+
+	// Syncset capture (Step 1-3 source side).
+	obsSSBLinked = obs.NewCounter("core.ssl.linked", "syncsets linked to an SSL")
+	obsSSLDepth  = obs.NewGauge("core.ssl.depth", "linked syncsets of the most recently updated migrating tenant")
+
+	// Propagation (Step 3 destination side).
+	obsPlayersActive   = obs.NewGauge("core.players.active", "propagation players in flight")
+	obsGroupSize       = obs.NewHistogram("core.commit_group.size", "commit group sizes released to slaves", obs.SizeBuckets())
+	obsSyncsetsApplied = obs.NewCounter("core.propagation.syncsets", "syncsets applied on slaves")
+	obsPropOps         = obs.NewCounter("core.propagation.ops", "operations replayed on slaves (incl. BEGIN/COMMIT)")
+
+	// Migration outcomes.
+	obsMigStarted   = obs.NewCounter("core.migrations.started", "migrations begun")
+	obsMigCompleted = obs.NewCounter("core.migrations.completed", "migrations switched over")
+	obsMigFailed    = obs.NewCounter("core.migrations.failed", "migrations aborted")
+)

@@ -230,6 +230,7 @@ func (w *worker) relay(sql string) (*engine.Result, error) {
 
 // Exec processes one customer operation (the worker body).
 func (w *worker) Exec(sql string) (*engine.Result, error) {
+	obsWorkerOps.Inc()
 	class, err := sqlmini.ClassifyQuery(sql)
 	if err != nil {
 		// Meta commands (DUMP, CREATE DATABASE, ...): relay verbatim.
@@ -351,6 +352,7 @@ func (w *worker) execCommit(sql string) (*engine.Result, error) {
 	case res.Tag == "COMMIT":
 		b.ETS = t.mlc
 		t.mlc++
+		obsMLCAdvance.Inc()
 		t.resolveSSBLocked(b, true)
 	default:
 		// "ROLLBACK": the transaction was poisoned server-side.
@@ -427,6 +429,7 @@ func (w *worker) execAutocommit(sql string, class sqlmini.OpClass) (*engine.Resu
 			b := &SSB{STS: t.mlc, ETS: t.mlc, update: true}
 			b.Entries = append(b.Entries, Entry{SQL: sql, Class: class})
 			t.mlc++
+			obsMLCAdvance.Inc()
 			t.resolveSSBLocked(b, true)
 		}
 		t.mu.Unlock()

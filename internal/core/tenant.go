@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Tenant is the middleware's per-tenant state: the tenant's current master
 // node, the master logical clock, the critical region serializing first
@@ -28,6 +31,12 @@ type Tenant struct {
 	migrating  bool
 	captureAll bool
 	ssl        []*SSB // linked SSBs in link (commit) order
+
+	// phase names the migration step in flight ("" when idle) and prop is
+	// the primary slave's propagator during Steps 3-4; both feed the
+	// STATUS/STATS monitoring surfaces.
+	phase string
+	prop  *propagator
 
 	// counters for reporting
 	capturedOps  int
@@ -63,10 +72,18 @@ func (t *Tenant) waitGateLocked() {
 	}
 }
 
-// txnStarted registers an in-flight transaction, honoring the gate.
+// txnStarted registers an in-flight transaction, honoring the gate. Time
+// spent blocked at a closed gate is the per-transaction share of the
+// paper's suspension blips (Fig 7's dips at migration start and end), so it
+// is observed; the open-gate fast path pays no clock read.
 func (t *Tenant) txnStarted() {
+	obsWorkerTxns.Inc()
 	t.mu.Lock()
-	t.waitGateLocked()
+	if t.gate {
+		start := time.Now()
+		t.waitGateLocked()
+		obsGateWait.ObserveDuration(time.Since(start))
+	}
 	t.activeTxns++
 	t.mu.Unlock()
 }
@@ -95,6 +112,8 @@ func (t *Tenant) resolveSSBLocked(b *SSB, link bool) {
 		t.ssl = append(t.ssl, b)
 		t.capturedSSBs++
 		t.capturedOps += b.OpCount()
+		obsSSBLinked.Inc()
+		obsSSLDepth.Set(int64(len(t.ssl)))
 	}
 	t.cond.Broadcast()
 }
@@ -160,6 +179,62 @@ func (t *Tenant) switchOver(dest Backend) {
 	t.node = dest
 	t.gen++
 	t.mu.Unlock()
+}
+
+// setProgress publishes the migration step in flight and the primary
+// slave's propagator (nil outside Steps 3-4) for the monitoring surfaces.
+func (t *Tenant) setProgress(phase string, p *propagator) {
+	t.mu.Lock()
+	t.phase = phase
+	t.prop = p
+	t.mu.Unlock()
+}
+
+// Progress reports the migration step in flight ("idle" when none) and,
+// during propagation, the primary slave's lag and debt.
+func (t *Tenant) Progress() (phase string, lag, debt int) {
+	t.mu.Lock()
+	phase = t.phase
+	p := t.prop
+	t.mu.Unlock()
+	if phase == "" {
+		phase = "idle"
+	}
+	// Lag/Debt re-acquire t.mu, so they must be called after the unlock.
+	if p != nil {
+		lag, debt = p.Lag(), p.Debt()
+	}
+	return phase, lag, debt
+}
+
+// TenantMonitor is one tenant's live monitoring row (the STATS <tenant>
+// admin view).
+type TenantMonitor struct {
+	Node         string
+	MLC          uint64
+	Phase        string
+	Lag          int
+	Debt         int
+	SSLDepth     int
+	ActiveTxns   int
+	CapturedSSBs int
+	CapturedOps  int
+}
+
+// Monitor snapshots the tenant's live state.
+func (t *Tenant) Monitor() TenantMonitor {
+	t.mu.Lock()
+	m := TenantMonitor{
+		Node:         t.node.BackendName(),
+		MLC:          t.mlc,
+		SSLDepth:     len(t.ssl),
+		ActiveTxns:   t.activeTxns,
+		CapturedSSBs: t.capturedSSBs,
+		CapturedOps:  t.capturedOps,
+	}
+	t.mu.Unlock()
+	m.Phase, m.Lag, m.Debt = t.Progress()
+	return m
 }
 
 // SSLLen reports the current syncset-list length (monitoring).

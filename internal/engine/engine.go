@@ -16,11 +16,21 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/mvcc"
+	"madeus/internal/obs"
 	"madeus/internal/simlat"
 	"madeus/internal/wal"
+)
+
+// Process-wide transaction outcome counters (summed over every tenant of
+// every engine in the process); the per-tenant split lives on Database.
+var (
+	obsCommits   = obs.NewCounter("engine.commits", "transactions committed")
+	obsAborts    = obs.NewCounter("engine.aborts", "transactions aborted or rolled back")
+	obsConflicts = obs.NewCounter("engine.conflicts", "first-updater-wins serialization aborts")
 )
 
 // Options configures an Engine.
@@ -60,6 +70,44 @@ type Database struct {
 
 	mu     sync.RWMutex
 	tables map[string]*mvcc.Table
+
+	// Per-tenant transaction outcomes (monitoring; see DBStats).
+	commits   atomic.Uint64
+	aborts    atomic.Uint64
+	conflicts atomic.Uint64
+}
+
+// DBStats is one tenant's transaction-outcome counters.
+type DBStats struct {
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64 // first-updater-wins serialization aborts (subset of Aborts)
+}
+
+// Stats snapshots the tenant's transaction outcome counters.
+func (db *Database) Stats() DBStats {
+	return DBStats{
+		Commits:   db.commits.Load(),
+		Aborts:    db.aborts.Load(),
+		Conflicts: db.conflicts.Load(),
+	}
+}
+
+// noteCommit records a committed transaction.
+func (db *Database) noteCommit() {
+	db.commits.Add(1)
+	obsCommits.Inc()
+}
+
+// noteAbort records an aborted transaction; conflict marks the
+// serialization-failure subset.
+func (db *Database) noteAbort(conflict bool) {
+	db.aborts.Add(1)
+	obsAborts.Inc()
+	if conflict {
+		db.conflicts.Add(1)
+		obsConflicts.Inc()
+	}
 }
 
 // New creates an engine with its WAL committer running.

@@ -56,6 +56,7 @@ func (s *Session) InTxn() bool { return s.inTxn }
 func (s *Session) Close() {
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.db.noteAbort(false)
 	}
 	s.txn = nil
 	s.inTxn = false
@@ -75,7 +76,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	}
 	st, err := sqlmini.Parse(sql)
 	if err != nil {
-		s.poison()
+		s.poison(false)
 		return nil, err
 	}
 	switch st.(type) {
@@ -94,7 +95,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 		s.ensureTxn()
 		res, err := s.execStatement(st, sql)
 		if err != nil {
-			s.poison()
+			s.poison(errors.Is(err, mvcc.ErrSerialization))
 		}
 		return res, err
 	}
@@ -105,6 +106,7 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	if err != nil {
 		s.txn.Abort()
 		s.txn = nil
+		s.db.noteAbort(errors.Is(err, mvcc.ErrSerialization))
 		return nil, err
 	}
 	if _, err := s.commitTxn(); err != nil {
@@ -122,13 +124,16 @@ func (s *Session) ensureTxn() {
 }
 
 // poison marks an explicit transaction failed and rolls back its effects.
-func (s *Session) poison() {
+// conflict tags the abort as a serialization failure in the tenant's
+// outcome counters.
+func (s *Session) poison(conflict bool) {
 	if !s.inTxn {
 		return
 	}
 	s.txnFail = true
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.db.noteAbort(conflict)
 	}
 }
 
@@ -173,10 +178,17 @@ func (s *Session) commitTxn() (mvcc.CSN, error) {
 		s.eng.log.Append(wal.Record{TxnID: uint64(txn.ID), Kind: wal.RecCommit, DB: s.db.Name})
 		if err := s.eng.log.Commit(); err != nil {
 			txn.Abort()
+			s.db.noteAbort(false)
 			return 0, err
 		}
 	}
-	return txn.Commit()
+	csn, err := txn.Commit()
+	if err != nil {
+		s.db.noteAbort(false)
+		return csn, err
+	}
+	s.db.noteCommit()
+	return csn, nil
 }
 
 func (s *Session) execRollback() (*Result, error) {
@@ -185,6 +197,7 @@ func (s *Session) execRollback() (*Result, error) {
 	}
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.db.noteAbort(false)
 	}
 	s.inTxn = false
 	s.txn = nil

@@ -13,7 +13,10 @@ import (
 )
 
 // Recorder accumulates latency observations, each stamped with elapsed time
-// from the recorder's start.
+// from the recorder's start. A recorder may be closed (observations from
+// straggler goroutines after the measurement window are dropped, not mixed
+// into the results) and may carry a cap bounding memory on very long runs;
+// both kinds of rejection are counted in Dropped.
 type Recorder struct {
 	start time.Time
 
@@ -22,6 +25,8 @@ type Recorder struct {
 	stamps  []time.Duration // elapsed-at-observation, parallel to lat
 	errors  int
 	dropped int
+	closed  bool
+	cap     int // max observations kept; 0 = unlimited
 }
 
 // NewRecorder starts a recorder; observations are bucketed relative to now.
@@ -32,10 +37,36 @@ func NewRecorder() *Recorder {
 // Start returns the recorder's epoch.
 func (r *Recorder) Start() time.Time { return r.start }
 
+// SetCap bounds the number of observations kept; once reached, further
+// observations are dropped (and counted). n <= 0 means unlimited.
+func (r *Recorder) SetCap(n int) {
+	r.mu.Lock()
+	r.cap = n
+	r.mu.Unlock()
+}
+
+// Close ends the measurement window: later observations are dropped and
+// counted rather than recorded.
+func (r *Recorder) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+}
+
 // Observe records one successful interaction's latency.
 func (r *Recorder) Observe(latency time.Duration) {
-	elapsed := time.Since(r.start)
+	r.ObserveAt(latency, time.Since(r.start))
+}
+
+// ObserveAt records one latency with an explicit elapsed-from-start stamp
+// (deterministic time-series tests; Observe stamps with the wall clock).
+func (r *Recorder) ObserveAt(latency, elapsed time.Duration) {
 	r.mu.Lock()
+	if r.closed || (r.cap > 0 && len(r.lat) >= r.cap) {
+		r.dropped++
+		r.mu.Unlock()
+		return
+	}
 	r.lat = append(r.lat, latency)
 	r.stamps = append(r.stamps, elapsed)
 	r.mu.Unlock()
@@ -44,7 +75,11 @@ func (r *Recorder) Observe(latency time.Duration) {
 // ObserveError counts a failed interaction (aborts, conflicts).
 func (r *Recorder) ObserveError() {
 	r.mu.Lock()
-	r.errors++
+	if r.closed {
+		r.dropped++
+	} else {
+		r.errors++
+	}
 	r.mu.Unlock()
 }
 
@@ -62,10 +97,19 @@ func (r *Recorder) Errors() int {
 	return r.errors
 }
 
+// Dropped returns the number of observations rejected because the recorder
+// was closed or at its cap.
+func (r *Recorder) Dropped() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // Summary is an aggregate latency/throughput view.
 type Summary struct {
 	Count      int
 	Errors     int
+	Dropped    int // observations rejected after Close or past the cap
 	Mean       time.Duration
 	P50        time.Duration
 	P95        time.Duration
@@ -80,13 +124,14 @@ func (r *Recorder) Summarize() Summary {
 	r.mu.Lock()
 	lat := append([]time.Duration{}, r.lat...)
 	errs := r.errors
+	dropped := r.dropped
 	var span time.Duration
 	if len(r.stamps) > 0 {
 		span = r.stamps[len(r.stamps)-1]
 	}
 	r.mu.Unlock()
 
-	s := Summary{Count: len(lat), Errors: errs, Span: span}
+	s := Summary{Count: len(lat), Errors: errs, Dropped: dropped, Span: span}
 	if len(lat) == 0 {
 		return s
 	}
@@ -167,9 +212,14 @@ func (r *Recorder) Series(width time.Duration) []Bucket {
 	return buckets
 }
 
-// String renders a summary compactly.
+// String renders a summary compactly. Dropped only appears when non-zero —
+// on a clean run the line reads as before.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d err=%d mean=%v p95=%v p99=%v max=%v tput=%.1f/s",
+	line := fmt.Sprintf("n=%d err=%d mean=%v p95=%v p99=%v max=%v tput=%.1f/s",
 		s.Count, s.Errors, s.Mean.Round(time.Microsecond), s.P95.Round(time.Microsecond),
 		s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond), s.Throughput)
+	if s.Dropped > 0 {
+		line += fmt.Sprintf(" dropped=%d", s.Dropped)
+	}
+	return line
 }

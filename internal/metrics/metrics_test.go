@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -122,5 +123,99 @@ func TestSummaryString(t *testing.T) {
 	r.Observe(time.Millisecond)
 	if s := r.Summarize().String(); s == "" {
 		t.Error("empty String()")
+	}
+}
+
+func TestDroppedAfterClose(t *testing.T) {
+	r := NewRecorder()
+	r.Observe(time.Millisecond)
+	r.Close()
+	r.Observe(2 * time.Millisecond)
+	r.ObserveError()
+	if r.Count() != 1 || r.Errors() != 0 || r.Dropped() != 2 {
+		t.Errorf("count=%d errors=%d dropped=%d, want 1/0/2", r.Count(), r.Errors(), r.Dropped())
+	}
+	s := r.Summarize()
+	if s.Dropped != 2 {
+		t.Errorf("summary dropped = %d, want 2", s.Dropped)
+	}
+	if got := s.String(); !strings.Contains(got, "dropped=2") {
+		t.Errorf("String() = %q, want dropped=2", got)
+	}
+	// A clean summary keeps its original shape.
+	if got := NewRecorder().Summarize().String(); strings.Contains(got, "dropped") {
+		t.Errorf("clean String() = %q, should omit dropped", got)
+	}
+}
+
+func TestDroppedAtCap(t *testing.T) {
+	r := NewRecorder()
+	r.SetCap(2)
+	for i := 0; i < 5; i++ {
+		r.Observe(time.Millisecond)
+	}
+	if r.Count() != 2 || r.Dropped() != 3 {
+		t.Errorf("count=%d dropped=%d, want 2/3", r.Count(), r.Dropped())
+	}
+	// Errors are not subject to the observation cap.
+	r.ObserveError()
+	if r.Errors() != 1 {
+		t.Errorf("errors = %d, want 1", r.Errors())
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveAt(7*time.Millisecond, 10*time.Millisecond)
+	s := r.Summarize()
+	// n=1: every quantile, the mean, and the max are the lone observation.
+	if s.Count != 1 || s.Mean != 7*time.Millisecond || s.P50 != 7*time.Millisecond ||
+		s.P95 != 7*time.Millisecond || s.P99 != 7*time.Millisecond || s.Max != 7*time.Millisecond {
+		t.Errorf("single-observation summary: %+v", s)
+	}
+	if s.Span != 10*time.Millisecond {
+		t.Errorf("span = %v, want 10ms", s.Span)
+	}
+	if s.Throughput != 100 { // 1 observation over 10ms
+		t.Errorf("throughput = %v, want 100/s", s.Throughput)
+	}
+}
+
+func TestTwoObservationQuantiles(t *testing.T) {
+	r := NewRecorder()
+	r.ObserveAt(10*time.Millisecond, time.Millisecond)
+	r.ObserveAt(20*time.Millisecond, 2*time.Millisecond)
+	s := r.Summarize()
+	// n=2: ceil(0.5*2)=1 → p50 is the lower value; p95/p99 the upper.
+	if s.P50 != 10*time.Millisecond {
+		t.Errorf("p50 = %v, want 10ms", s.P50)
+	}
+	if s.P95 != 20*time.Millisecond || s.P99 != 20*time.Millisecond {
+		t.Errorf("p95/p99 = %v/%v, want 20ms", s.P95, s.P99)
+	}
+	if s.Mean != 15*time.Millisecond || s.Max != 20*time.Millisecond {
+		t.Errorf("mean/max = %v/%v", s.Mean, s.Max)
+	}
+}
+
+func TestSeriesBucketBoundary(t *testing.T) {
+	r := NewRecorder()
+	width := 20 * time.Millisecond
+	// Exactly on the boundary: elapsed == width belongs to bucket 1, not 0
+	// (intervals are half-open [start, start+width)).
+	r.ObserveAt(time.Millisecond, 0)
+	r.ObserveAt(2*time.Millisecond, width)
+	buckets := r.Series(width)
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d, want 2", len(buckets))
+	}
+	if buckets[0].Count != 1 || buckets[1].Count != 1 {
+		t.Errorf("bucket counts = %d/%d, want 1/1", buckets[0].Count, buckets[1].Count)
+	}
+	if buckets[1].Start != width {
+		t.Errorf("bucket1 start = %v, want %v", buckets[1].Start, width)
+	}
+	if buckets[1].Mean != 2*time.Millisecond || buckets[1].Max != 2*time.Millisecond {
+		t.Errorf("bucket1 mean/max = %v/%v", buckets[1].Mean, buckets[1].Max)
 	}
 }

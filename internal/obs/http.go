@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the registry and tracer over HTTP in the expvar style:
+//
+//	GET /debug/madeus            combined JSON (metrics + recent events)
+//	GET /debug/madeus?events=N   cap the event tail at N (default 200)
+//	GET /debug/madeus/text       plain-text metric dump
+//
+// Mount it with NewServeMux and http.Serve from cmd/madeusd's -debug flag;
+// it holds no per-request state and is safe for concurrent use.
+func Handler(r *Registry, t *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/madeus", func(w http.ResponseWriter, req *http.Request) {
+		n := 200
+		if q := req.URL.Query().Get("events"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "obs: bad events count", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		// The client hanging up mid-write is its problem; nothing to do
+		// with the error beyond not masking a partial write as success.
+		_ = WriteJSON(w, r.Snapshot(), t.Last(n))
+	})
+	mux.HandleFunc("/debug/madeus/text", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = WriteText(w, r.Snapshot())
+	})
+	return mux
+}

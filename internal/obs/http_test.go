@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerJSON(t *testing.T) {
+	r := fresh()
+	r.NewCounter("h.ops", "").Add(9)
+	tr := NewTracer(16)
+	tr.Emit("shop", "step4.switchover", F("suspension", "1ms"))
+
+	srv := httptest.NewServer(Handler(r, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/madeus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var snap DebugSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 9 {
+		t.Fatalf("metrics = %+v", snap.Metrics)
+	}
+	if len(snap.Events) != 1 || snap.Events[0].Name != "step4.switchover" {
+		t.Fatalf("events = %+v", snap.Events)
+	}
+}
+
+func TestHandlerEventLimitAndText(t *testing.T) {
+	r := fresh()
+	tr := NewTracer(64)
+	for i := 0; i < 10; i++ {
+		tr.Emit("shop", "tick")
+	}
+	srv := httptest.NewServer(Handler(r, tr))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/madeus?events=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap DebugSnapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil || len(snap.Events) != 3 {
+		t.Fatalf("events=3 returned %d events (err %v)", len(snap.Events), err)
+	}
+
+	if resp, err = http.Get(srv.URL + "/debug/madeus?events=bogus"); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad events param: status = %d", resp.StatusCode)
+	}
+
+	r.NewCounter("t.ops", "").Add(2)
+	if resp, err = http.Get(srv.URL + "/debug/madeus/text"); err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "t.ops") {
+		t.Fatalf("text dump = %q", body)
+	}
+}

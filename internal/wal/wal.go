@@ -21,7 +21,18 @@ import (
 	"time"
 
 	"madeus/internal/invariant"
+	"madeus/internal/obs"
 	"madeus/internal/simlat"
+)
+
+// Process-wide observability: one engine process may host several logs (the
+// in-process test clusters), so these aggregate across all of them; the
+// per-log Stats remain the exact per-instance view.
+var (
+	obsFsyncs  = obs.NewCounter("wal.fsyncs", "simulated fsyncs performed")
+	obsCommits = obs.NewCounter("wal.commits", "commit requests served")
+	obsRecords = obs.NewCounter("wal.records", "records appended")
+	obsBatch   = obs.NewHistogram("wal.batch_size", "commits covered by one fsync", obs.SizeBuckets())
 )
 
 // Mode selects how commits reach "disk".
@@ -124,6 +135,7 @@ func New(opts Options) *Log {
 // Append buffers a record, assigning its LSN. It does not sync.
 func (l *Log) Append(rec Record) {
 	rec.LSN = l.records.Add(1)
+	obsRecords.Inc()
 	if l.opts.RetainRecords > 0 {
 		l.mu.Lock()
 		if n := len(l.retained); n < l.opts.RetainRecords {
@@ -150,6 +162,7 @@ func (l *Log) Retained() []Record {
 // an fsync covering this commit completes.
 func (l *Log) Commit() error {
 	l.commits.Add(1)
+	obsCommits.Inc()
 	if l.opts.Mode == SerialCommit {
 		l.mu.Lock()
 		// Serial mode models an EXCLUSIVE fsync per commit — holding the
@@ -217,10 +230,12 @@ func (l *Log) committer() {
 func (l *Log) fsync() {
 	simlat.IO(l.opts.SyncDelay)
 	l.fsyncs.Add(1)
+	obsFsyncs.Inc()
 }
 
 func (l *Log) noteBatch(n int) {
 	invariant.Assertf(n >= 1, "wal: batch of %d commits noted", n)
+	obsBatch.Observe(int64(n))
 	if l.opts.Mode == SerialCommit {
 		// mu already held by Commit.
 		if n > l.maxBatch {

@@ -36,6 +36,10 @@ const (
 // maxPayload guards against corrupt frames.
 const maxPayload = 64 << 20
 
+// msgHeaderLen is the frame header size (type byte + length), counted into
+// the wire.bytes.* observability counters.
+const msgHeaderLen = 5
+
 // ServerError is an error reported by the remote server (as opposed to a
 // transport failure). The middleware relays these to customers verbatim.
 type ServerError struct {

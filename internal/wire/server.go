@@ -6,8 +6,21 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/obs"
+)
+
+// Process-wide wire observability, aggregated over every server in the
+// process (middleware listener and in-process nodes alike).
+var (
+	obsActiveConns = obs.NewGauge("wire.conns.active", "sessions currently open")
+	obsConnsTotal  = obs.NewCounter("wire.conns.total", "sessions accepted")
+	obsOps         = obs.NewCounter("wire.ops", "query messages served")
+	obsBytesIn     = obs.NewCounter("wire.bytes.in", "request payload bytes received")
+	obsBytesOut    = obs.NewCounter("wire.bytes.out", "response payload bytes sent")
+	obsOpLatency   = obs.NewHistogram("wire.op.latency", "server-side per-operation latency", obs.DurationBuckets())
 )
 
 // Conn is one server-side session: what a connected client can do.
@@ -121,6 +134,9 @@ func (s *Server) serve(conn net.Conn) {
 	if err := bw.Flush(); err != nil {
 		return
 	}
+	obsConnsTotal.Inc()
+	obsActiveConns.Inc()
+	defer obsActiveConns.Dec()
 
 	for {
 		typ, payload, err := readMsg(br)
@@ -129,12 +145,20 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch typ {
 		case MsgQuery:
+			obsOps.Inc()
+			obsBytesIn.Add(uint64(len(payload) + msgHeaderLen))
+			start := time.Now()
 			res, err := sess.Exec(string(payload))
+			obsOpLatency.ObserveDuration(time.Since(start))
+			var out []byte
 			if err != nil {
-				err = writeMsg(bw, MsgError, []byte(err.Error()))
+				out = []byte(err.Error())
+				err = writeMsg(bw, MsgError, out)
 			} else {
-				err = writeMsg(bw, MsgResult, EncodeResult(res))
+				out = EncodeResult(res)
+				err = writeMsg(bw, MsgResult, out)
 			}
+			obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
 			if err != nil {
 				return
 			}

@@ -1,0 +1,107 @@
+package madeus
+
+import (
+	"fmt"
+	"testing"
+
+	"madeus/internal/obs"
+)
+
+// TestObsDisabledOverhead guards the observability layer's cost contract,
+// the sibling of TestInvariantZeroOverhead: with obs disabled, the
+// instrumentation pattern used on the worker relay path — a Counter.Add
+// plus an On()-guarded trace emit — must cost no more than an atomic-load
+// branch, i.e. stay within noise of the bare loop. Like the invariant
+// guard, the ratio is deliberately lenient; it catches the layer regressing
+// into real per-op work (allocation, locking, map lookups), not nanosecond
+// drift.
+func TestObsDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		// Unlike invariant.Assert (a true no-op), the disabled obs path is
+		// two atomic loads; under -race those become instrumented calls and
+		// the ratio measures the detector. verify.sh runs this guard in a
+		// dedicated no-race step.
+		t.Skip("race detector instruments atomics; run without -race")
+	}
+
+	reg := obs.NewRegistry()
+	ctr := reg.NewCounter("guard.relay.ops", "")
+	tr := obs.NewTracer(64)
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+
+	var sink uint64
+	bare := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	}
+	instrumented := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ctr.Add(1)
+			if obs.On() {
+				tr.Emit("guard", "relay", obs.F("i", i))
+			}
+			sink += uint64(i)
+		}
+	}
+
+	// A disabled guarded emit must not allocate (the field build is skipped
+	// behind On()); an allocation here means every relayed op would pay it.
+	allocs := testing.AllocsPerRun(1000, func() {
+		ctr.Add(1)
+		if obs.On() {
+			tr.Emit("guard", "relay", obs.F("x", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled instrumentation allocates %.1f objects/op", allocs)
+	}
+
+	const attempts = 5
+	var last string
+	for try := 0; try < attempts; try++ {
+		rBare := testing.Benchmark(bare)
+		rInst := testing.Benchmark(instrumented)
+		nsBare := float64(rBare.NsPerOp())
+		nsInst := float64(rInst.NsPerOp())
+		if nsBare <= 0 {
+			nsBare = 0.1
+		}
+		// Allow the two atomic-flag loads plus slack: 4x + 2ns absolute.
+		if nsInst <= 4*nsBare+2 {
+			return
+		}
+		last = fmt.Sprintf("%.1fns/op vs %.1fns/op (%.1fx)", nsInst, nsBare, nsInst/nsBare)
+	}
+	t.Fatalf("disabled obs instrumentation is not free: %s across %d attempts", last, attempts)
+}
+
+// BenchmarkObsCounterEnabled measures the enabled hot-path cost of one
+// sharded counter increment (the per-op price of leaving obs on).
+func BenchmarkObsCounterEnabled(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.NewCounter("bench.relay.ops", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ctr.Add(1)
+		}
+	})
+}
+
+// BenchmarkObsCounterDisabled measures the disabled cost (the guard's
+// subject, in benchmark form for `go test -bench`).
+func BenchmarkObsCounterDisabled(b *testing.B) {
+	reg := obs.NewRegistry()
+	ctr := reg.NewCounter("bench.relay.off", "")
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			ctr.Add(1)
+		}
+	})
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package madeus
+
+// raceEnabled reports that this binary was built with the race detector;
+// timing guards skip themselves because instrumented atomics measure the
+// detector, not the code under guard.
+const raceEnabled = true

@@ -11,3 +11,12 @@ go vet ./...
 go run ./cmd/madeusvet ./...
 go test -race -count=1 ./...
 go test -tags invariants -count=1 ./internal/wal/ ./internal/mvcc/ ./internal/lsir/
+
+# Observability gate: race-check the obs layer and the instrumented core on
+# their own (fast signal when the full suite above is skipped or edited),
+# lint the instrumented packages, and assert that disabled counters/tracing
+# stay within noise on the worker relay path — the same no-measurable-cost
+# contract the invariants layer pins.
+go test -race -count=1 ./internal/obs/ ./internal/core/
+go run ./cmd/madeusvet ./internal/obs/ ./internal/core/ ./internal/wal/ ./internal/wire/ ./internal/engine/
+go test -count=1 -run 'TestObsDisabledOverhead|TestInvariantZeroOverhead' .
