@@ -60,6 +60,14 @@ func main() {
 		default:
 			usage()
 		}
+	case "fault":
+		// Passthrough to the failpoint registry (daemon must be built
+		// with -tags faultinject): fault list | enable <site> <policy>
+		// | disable <site> | release <site> | reset | seed <n>.
+		if len(args) < 2 {
+			usage()
+		}
+		cmd = "FAULT " + strings.Join(args[1:], " ")
 	default:
 		usage()
 	}
@@ -93,7 +101,12 @@ commands:
   stats [tenant]                  process-wide metrics, or one tenant's monitor
   events [n]                      tail of the migration event trace (default 50)
   add-tenant <tenant> <node>      provision a tenant on a node
-  migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)`)
+  migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)
+  fault <subcmd> [args]           drive failpoints on a -tags faultinject build:
+                                  list | enable <site> <error|drop|hang> [times]
+                                  | enable <site> delay <dur> [times]
+                                  | enable <site> p <prob> | disable <site>
+                                  | release <site> | reset | seed <n>`)
 	os.Exit(2)
 }
 

@@ -1,0 +1,79 @@
+package madeus
+
+import (
+	"fmt"
+	"testing"
+
+	"madeus/internal/fault"
+)
+
+// TestFaultDisabledOverhead guards the failpoint layer's cost contract, the
+// sibling of TestObsDisabledOverhead: without -tags faultinject every
+// fault.Inject site compiles to a no-op stub, so a site on the wire or WAL
+// hot path must cost nothing — no allocation, and within noise of the bare
+// loop. Under -tags faultinject an UNARMED registry may cost at most one
+// atomic load, which the same lenient ratio covers; the guard only skips
+// when the race detector would instrument that load into a real call.
+func TestFaultDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments atomics; run without -race")
+	}
+	if fault.Enabled {
+		// Keep the armed-registry state of other faultinject tests from
+		// polluting the measurement.
+		fault.Reset()
+	}
+
+	const site = "guard.hotpath.op"
+	var sink uint64
+	bare := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	}
+	instrumented := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := fault.Inject(site); err != nil {
+				b.Fatal(err)
+			}
+			sink += uint64(i)
+		}
+	}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		_ = fault.Inject(site)
+	})
+	if allocs != 0 {
+		t.Fatalf("disarmed fault site allocates %.1f objects/op", allocs)
+	}
+
+	const attempts = 5
+	var last string
+	for try := 0; try < attempts; try++ {
+		rBare := testing.Benchmark(bare)
+		rInst := testing.Benchmark(instrumented)
+		nsBare := float64(rBare.NsPerOp())
+		nsInst := float64(rInst.NsPerOp())
+		if nsBare <= 0 {
+			nsBare = 0.1
+		}
+		// Allow one atomic-flag load plus slack: 4x + 2ns absolute.
+		if nsInst <= 4*nsBare+2 {
+			return
+		}
+		last = fmt.Sprintf("%.1fns/op vs %.1fns/op (%.1fx)", nsInst, nsBare, nsInst/nsBare)
+	}
+	t.Fatalf("disarmed fault site is not free: %s across %d attempts", last, attempts)
+}
+
+// BenchmarkFaultInjectDisarmed measures the per-op price of a fault site in
+// whichever build flavor is under test (a pure no-op without the tag, one
+// atomic load with it).
+func BenchmarkFaultInjectDisarmed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = fault.Inject("bench.hotpath.op")
+	}
+}

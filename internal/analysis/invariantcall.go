@@ -16,9 +16,14 @@ import (
 //     instead; the closure is only invoked under -tags invariants.
 //   - invariant.Check takes a func literal or func value, not the result of
 //     calling something — invariant.Check(f()) evaluates f eagerly.
+//
+// The internal/fault failpoint registry has the same contract under its
+// faultinject tag: fault.Inject(site) arguments are evaluated even in
+// production builds where Inject is a no-op stub, so site names must be
+// precomputed constants, never built by a call on the hot path.
 var InvariantCall = &Analyzer{
 	Name: "invariantcall",
-	Doc:  "invariant assertions must only do real work under the invariants build tag",
+	Doc:  "invariant assertions and fault sites must only do real work under their build tags",
 	Run:  runInvariantCall,
 }
 
@@ -34,7 +39,19 @@ func runInvariantCall(pass *Pass) {
 				return true
 			}
 			pkg, ok := sel.X.(*ast.Ident)
-			if !ok || !isInvariantPkg(pass, pkg) {
+			if !ok {
+				return true
+			}
+			if isFaultPkg(pass, pkg) && sel.Sel.Name == "Inject" {
+				for _, arg := range call.Args {
+					if inner := firstCall(pass, arg); inner != nil {
+						pass.Reportf(inner.Pos(),
+							"call inside fault.Inject argument is evaluated even without -tags faultinject; use a precomputed site-name constant")
+					}
+				}
+				return true
+			}
+			if !isInvariantPkg(pass, pkg) {
 				return true
 			}
 			switch sel.Sel.Name {
@@ -77,6 +94,20 @@ func isInvariantPkg(pass *Pass, ident *ast.Ident) bool {
 		}
 	}
 	return ident.Name == "invariant"
+}
+
+// isFaultPkg reports whether ident names the internal/fault package (by
+// import resolution when type info is present, by name otherwise).
+func isFaultPkg(pass *Pass, ident *ast.Ident) bool {
+	if pass.Info != nil {
+		if obj, ok := pass.Info.Uses[ident]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return strings.HasSuffix(pn.Imported().Path(), "internal/fault")
+			}
+			return ident.Name == "fault"
+		}
+	}
+	return ident.Name == "fault"
 }
 
 // firstCall returns the first real CallExpr inside e, skipping func literal

@@ -1,0 +1,6 @@
+// Package fault is a fixture stand-in for madeus/internal/fault; the
+// invariantcall analyzer matches it by its "internal/fault" path suffix.
+package fault
+
+// Inject is the fixture no-op failpoint probe.
+func Inject(site string) error { return nil }

@@ -2,7 +2,10 @@
 // marked `// want` must produce exactly one finding; unmarked lines none.
 package invariantcall
 
-import "fixture/internal/invariant"
+import (
+	"fixture/internal/fault"
+	"fixture/internal/invariant"
+)
 
 func expensive() bool { return true }
 
@@ -43,3 +46,20 @@ func deferredCheck(s *state) {
 }
 
 func verify(s *state) error { return nil }
+
+func siteName(step int) string { return "step" }
+
+const faultSiteOK = "core.step1.dump"
+
+// eagerFaultSite builds the site name with a call on every production hit
+// of the failpoint — the analyzer must flag the inner call.
+func eagerFaultSite(step int) {
+	_ = fault.Inject(siteName(step)) // want
+}
+
+// constFaultSite uses a precomputed constant (concatenation of constants
+// included) — allowed.
+func constFaultSite() {
+	_ = fault.Inject(faultSiteOK)
+	_ = fault.Inject("core." + "step2.restore")
+}

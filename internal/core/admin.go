@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/fault"
 	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
 )
@@ -23,6 +25,14 @@ const AdminDB = "_admin"
 //	STATUS
 //	STATS [tenant]
 //	EVENTS [n]
+//	FAULT LIST | RESET | SEED <n>
+//	FAULT ENABLE <site> <ERROR|DROP|HANG> [times]
+//	FAULT ENABLE <site> DELAY <duration> [times]
+//	FAULT ENABLE <site> P <probability>
+//	FAULT DISABLE <site> | RELEASE <site>
+//
+// FAULT drives the failpoint registry (internal/fault) for chaos drills;
+// it errors unless the daemon was built with -tags faultinject.
 type adminConn struct {
 	mw *Middleware
 }
@@ -115,8 +125,105 @@ func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
 			return nil, fmt.Errorf("core: usage: EVENTS [n]")
 		}
 		return a.execEvents(n)
+
+	case len(fields) >= 1 && upper[0] == "FAULT":
+		return a.execFault(fields, upper)
 	}
 	return nil, fmt.Errorf("core: unknown admin command %q", cmd)
+}
+
+// execFault drives the failpoint registry over the admin channel.
+func (a *adminConn) execFault(fields, upper []string) (*engine.Result, error) {
+	if !fault.Enabled {
+		return nil, fmt.Errorf("core: fault injection not compiled in (rebuild with -tags faultinject)")
+	}
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("core: usage: FAULT LIST|ENABLE|DISABLE|RELEASE|RESET|SEED ...")
+	}
+	switch upper[1] {
+	case "LIST":
+		res := &engine.Result{Columns: []string{"site", "hits", "fired"}, Tag: "FAULT"}
+		for _, site := range fault.List() {
+			res.Rows = append(res.Rows, []sqlmini.Value{
+				sqlmini.NewText(site),
+				sqlmini.NewInt(int64(fault.SiteHits(site))),
+				sqlmini.NewInt(int64(fault.SiteFired(site))),
+			})
+		}
+		return res, nil
+	case "RESET":
+		fault.Reset()
+		return &engine.Result{Tag: "FAULT"}, nil
+	case "SEED":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("core: usage: FAULT SEED <n>")
+		}
+		n, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: usage: FAULT SEED <n>")
+		}
+		fault.Seed(n)
+		return &engine.Result{Tag: "FAULT"}, nil
+	case "DISABLE", "RELEASE":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("core: usage: FAULT %s <site>", upper[1])
+		}
+		if upper[1] == "DISABLE" {
+			fault.Disable(fields[2])
+		} else {
+			fault.Release(fields[2])
+		}
+		return &engine.Result{Tag: "FAULT"}, nil
+	case "ENABLE":
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("core: usage: FAULT ENABLE <site> <ERROR|DROP|HANG|DELAY dur|P prob> [times]")
+		}
+		site := fields[2]
+		var p fault.Policy
+		rest := fields[4:]
+		switch upper[3] {
+		case "ERROR":
+			// zero-value policy: fail with ErrInjected
+		case "DROP":
+			p.Drop = true
+		case "HANG":
+			p.Hang = true
+		case "DELAY":
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("core: usage: FAULT ENABLE <site> DELAY <duration> [times]")
+			}
+			d, err := time.ParseDuration(rest[0])
+			if err != nil {
+				return nil, fmt.Errorf("core: bad DELAY duration %q: %v", rest[0], err)
+			}
+			p.Delay = d
+			rest = rest[1:]
+		case "P":
+			if len(rest) != 1 {
+				return nil, fmt.Errorf("core: usage: FAULT ENABLE <site> P <probability>")
+			}
+			prob, err := strconv.ParseFloat(rest[0], 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return nil, fmt.Errorf("core: bad probability %q", rest[0])
+			}
+			p.P = prob
+			rest = nil
+		default:
+			return nil, fmt.Errorf("core: unknown fault policy %q", fields[3])
+		}
+		if len(rest) == 1 {
+			n, err := strconv.Atoi(rest[0])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("core: bad fire count %q", rest[0])
+			}
+			p.Times = n
+		} else if len(rest) > 1 {
+			return nil, fmt.Errorf("core: trailing arguments after fault policy: %v", rest[1:])
+		}
+		fault.Enable(site, p)
+		return &engine.Result{Tag: "FAULT"}, nil
+	}
+	return nil, fmt.Errorf("core: unknown FAULT subcommand %q", fields[1])
 }
 
 // execStats renders the process-wide metric registry (STATS).

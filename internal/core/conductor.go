@@ -7,12 +7,20 @@ import (
 	"sync"
 	"time"
 
+	"madeus/internal/fault"
 	"madeus/internal/simlat"
 	"madeus/internal/wire"
 )
 
 // errAborted marks propagation cancelled by the manager.
 var errAborted = errors.New("core: propagation aborted")
+
+// Step-3 failpoint sites (armed only under -tags faultinject): the
+// propagator's destination dials and every replayed statement.
+const (
+	faultStep3Dial = "core.step3.dial"
+	faultStep3Exec = "core.step3.exec"
+)
 
 // PropagationStats summarizes one Step-3 run.
 type PropagationStats struct {
@@ -30,6 +38,11 @@ type propagator struct {
 	strategy Strategy
 	maxConns int
 	mts      uint64
+
+	// opTimeout bounds every statement replayed on the destination so a
+	// hung slave cannot park players forever (they must observe the
+	// abort); 0 disables the bound.
+	opTimeout time.Duration
 
 	// conn pool
 	poolMu  sync.Mutex
@@ -60,16 +73,17 @@ type propagator struct {
 
 // startPropagation launches Step 3. mts is the migration timestamp: the MLC
 // value at the snapshot; the first commit to replay has ETS == mts.
-func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, mts uint64, herdSpin time.Duration) *propagator {
+func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, mts uint64, herdSpin, opTimeout time.Duration) *propagator {
 	p := &propagator{
-		t:        t,
-		dest:     dest,
-		strategy: strategy,
-		maxConns: maxConns,
-		mts:      mts,
-		herdSpin: herdSpin,
-		abort:    make(chan struct{}),
-		done:     make(chan struct{}),
+		t:         t,
+		dest:      dest,
+		strategy:  strategy,
+		maxConns:  maxConns,
+		mts:       mts,
+		herdSpin:  herdSpin,
+		opTimeout: opTimeout,
+		abort:     make(chan struct{}),
+		done:      make(chan struct{}),
 	}
 	p.herdCond = sync.NewCond(&p.herdMu)
 	go p.run()
@@ -158,16 +172,28 @@ func (p *propagator) Wait() error {
 	return p.Err()
 }
 
+// fail records the propagation failure and cancels the run. It is called
+// from several goroutines at once — the manager's Abort/RequestStop path,
+// the run loop, and any player — so it must be idempotent and keep the
+// error it records meaningful: the FIRST REAL error wins. errAborted is
+// only a cancellation marker, so a real error arriving after an abort
+// (the race between the manager's RequestStop/Abort and a player hitting
+// the actual fault) replaces it — otherwise the Report's rollback reason
+// would read "aborted" instead of what went wrong. The abort channel is
+// closed under p.mu so `aborted == true ⇒ abort closed` holds atomically
+// for stopRequested/isAborted readers.
 func (p *propagator) fail(err error) {
 	p.mu.Lock()
-	if p.err == nil {
+	if p.err == nil || (errors.Is(p.err, errAborted) && !errors.Is(err, errAborted)) {
 		p.err = err
 	}
 	already := p.aborted
 	p.aborted = true
-	p.mu.Unlock()
 	if !already {
 		close(p.abort)
+	}
+	p.mu.Unlock()
+	if !already {
 		p.herdMu.Lock()
 		p.herdCond.Broadcast()
 		p.herdMu.Unlock()
@@ -211,7 +237,32 @@ func (p *propagator) getConn() (*wire.Client, error) {
 	}
 	p.created++
 	p.poolMu.Unlock()
-	return p.dest.Connect(p.t.Name)
+	if err := fault.Inject(faultStep3Dial); err != nil {
+		return nil, err
+	}
+	c, err := p.dest.Connect(p.t.Name)
+	if err != nil {
+		return nil, err
+	}
+	if p.opTimeout > 0 {
+		c.SetOpTimeout(p.opTimeout)
+	}
+	return c, nil
+}
+
+// exec replays one statement on a destination connection through the
+// step-3 failpoint: an injected conn-drop closes the socket so the Exec
+// fails exactly like a vanished peer; other injected errors surface
+// directly.
+func (p *propagator) exec(conn *wire.Client, sql string) error {
+	if ferr := fault.Inject(faultStep3Exec); ferr != nil {
+		if !fault.IsConnDrop(ferr) {
+			return ferr
+		}
+		_ = conn.Close()
+	}
+	_, err := conn.Exec(sql)
+	return err
 }
 
 func (p *propagator) putConn(c *wire.Client) {
@@ -292,15 +343,15 @@ func (p *propagator) replaySerial(conn *wire.Client, b *SSB) error {
 		return errAborted
 	default:
 	}
-	if _, err := conn.Exec("BEGIN"); err != nil {
+	if err := p.exec(conn, "BEGIN"); err != nil {
 		return fmt.Errorf("core: replay BEGIN: %w", err)
 	}
 	for _, e := range b.Entries {
-		if _, err := conn.Exec(e.SQL); err != nil {
+		if err := p.exec(conn, e.SQL); err != nil {
 			return fmt.Errorf("core: replay %q: %w", e.SQL, err)
 		}
 	}
-	if _, err := conn.Exec("COMMIT"); err != nil {
+	if err := p.exec(conn, "COMMIT"); err != nil {
 		return fmt.Errorf("core: replay COMMIT: %w", err)
 	}
 	p.noteGroup(1)
@@ -506,11 +557,11 @@ func (p *propagator) player(r *runState) {
 		r.setErr(err)
 		return
 	}
-	if _, err := conn.Exec("BEGIN"); err != nil {
+	if err := p.exec(conn, "BEGIN"); err != nil {
 		r.setErr(fmt.Errorf("core: player BEGIN: %w", err))
 		return
 	}
-	if _, err := conn.Exec(r.b.FirstOp().SQL); err != nil {
+	if err := p.exec(conn, r.b.FirstOp().SQL); err != nil {
 		r.setErr(fmt.Errorf("core: player first op %q: %w", r.b.FirstOp().SQL, err))
 		return
 	}
@@ -518,7 +569,7 @@ func (p *propagator) player(r *runState) {
 	firstClosed = true
 
 	for _, e := range r.b.Rest() {
-		if _, err := conn.Exec(e.SQL); err != nil {
+		if err := p.exec(conn, e.SQL); err != nil {
 			r.setErr(fmt.Errorf("core: player %q: %w", e.SQL, err))
 			return
 		}
@@ -551,7 +602,7 @@ func (p *propagator) player(r *runState) {
 			return
 		}
 	}
-	if _, err := conn.Exec("COMMIT"); err != nil {
+	if err := p.exec(conn, "COMMIT"); err != nil {
 		r.setErr(fmt.Errorf("core: player COMMIT: %w", err))
 		return
 	}

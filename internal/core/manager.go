@@ -5,8 +5,21 @@ import (
 	"fmt"
 	"time"
 
+	"madeus/internal/fault"
 	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
+	"madeus/internal/wire"
+)
+
+// Migration-step failpoint sites (armed only under -tags faultinject).
+// Together with the propagator's sites (conductor.go) they cover every
+// step of Algorithm 3 against the destination.
+const (
+	faultStep1Dump      = "core.step1.dump"
+	faultStep2Restore   = "core.step2.restore"
+	faultRestoreDial    = "core.restore.dial"
+	faultStep3Propagate = "core.step3.propagate"
+	faultStep4Switch    = "core.step4.switchover"
 )
 
 // ErrCatchupTimeout reports that the slave could not catch up with the
@@ -42,6 +55,15 @@ type MigrateOptions struct {
 	// KeepSource leaves the source copy in place after switch-over
 	// (used by consistency tests to compare master and slave states).
 	KeepSource bool
+	// OpTimeout bounds every middleware-issued operation against the
+	// destination (restore replay, propagation, the promotion probe) so
+	// a hung slave surfaces as a connection loss instead of parking the
+	// migration forever. Defaults to the middleware's Options.OpTimeout.
+	OpTimeout time.Duration
+	// Retry governs redial-and-retry of the migration's own idempotent
+	// destination operations (dials, the promotion probe). Zero
+	// MaxAttempts inherits the middleware's Options.Retry.
+	Retry wire.RetryPolicy
 }
 
 // Report describes a completed (or failed) migration.
@@ -84,6 +106,14 @@ type Report struct {
 	// source); Err carries the cause.
 	Failed bool
 	Err    error
+
+	// RollbackStep and RollbackReason record where a failed migration
+	// rolled back ("step1.snapshot" ... "step4.switchover") and why.
+	// Empty on success. After a rollback the tenant is back in normal
+	// single-master service on the source and re-migratable (a retry
+	// takes a fresh snapshot with a fresh MTS).
+	RollbackStep   string
+	RollbackReason string
 }
 
 // Total is the end-to-end migration time (the y-axis of Fig 6).
@@ -135,6 +165,12 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	if opts.CatchupLag <= 0 {
 		opts.CatchupLag = 64
 	}
+	if opts.OpTimeout <= 0 {
+		opts.OpTimeout = m.opts.OpTimeout
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry = m.opts.Retry
+	}
 
 	rep := &Report{
 		Tenant:   tenantName,
@@ -162,15 +198,25 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	// are saved (Step 1: "Madeus saves the operations as a syncset").
 	t.startCapture(opts.Strategy.captureAll())
 
-	fail := func(err error) (*Report, error) {
+	// fail is the rollback path: whatever step died, the tenant returns
+	// to normal single-master service on the source — capture stops and
+	// the SSL is discarded, the gate reopens so customers resume
+	// immediately, and the partially-built slaves are dropped. Nothing
+	// about the source changed (the dump transaction only reads), so the
+	// system is left re-migratable: a retry starts from Step 1 with a
+	// fresh snapshot and a fresh MTS.
+	fail := func(step string, err error) (*Report, error) {
 		t.stopCapture()
 		t.setGate(false)
 		t.setProgress("", nil)
 		rep.Failed = true
 		rep.Err = err
+		rep.RollbackStep = step
+		rep.RollbackReason = err.Error()
 		rep.End = time.Now()
 		obsMigFailed.Inc()
-		obs.Trace.Emit(tenantName, "migrate.failed", obs.F("err", err))
+		obsMigRollbacks.Inc()
+		obs.Trace.Emit(tenantName, "migrate.rollback", obs.F("step", step), obs.F("err", err))
 		rep.Timeline = obs.Trace.Since(seq0, tenantName)
 		// Discard the partial slaves, if any.
 		for _, sl := range slaves {
@@ -190,11 +236,11 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 
 	ctl, err := source.Connect(tenantName)
 	if err != nil {
-		return fail(err)
+		return fail("step1.snapshot", err)
 	}
 	defer ctl.Close()
 	if _, err := ctl.Exec("BEGIN"); err != nil {
-		return fail(err)
+		return fail("step1.snapshot", err)
 	}
 	phase = time.Now()
 	dumpSpan := obs.Trace.Start(tenantName, "step1.dump")
@@ -208,18 +254,21 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	t.ssl = nil // everything committed so far is inside the snapshot
 	t.mu.Unlock()
 	if err != nil {
-		return fail(err)
+		return fail("step1.snapshot", err)
 	}
 	rep.MTS = mts
 	obs.Trace.Emit(tenantName, "step1.mts", obs.F("mts", mts))
 	t.setGate(false) // customers resume while the dump streams
 
+	if ferr := fault.Inject(faultStep1Dump); ferr != nil {
+		return fail("step1.snapshot", ferr)
+	}
 	dump, err := ctl.Exec("DUMP")
 	if err != nil {
-		return fail(err)
+		return fail("step1.snapshot", err)
 	}
 	if _, err := ctl.Exec("COMMIT"); err != nil {
-		return fail(err)
+		return fail("step1.snapshot", err)
 	}
 	rep.SnapshotTime = time.Since(phase)
 	dumpSpan.End(obs.F("rows", len(dump.Rows)))
@@ -228,13 +277,43 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	t.setProgress("step2.restore", nil)
 	phase = time.Now()
 	restoreSpan := obs.Trace.Start(tenantName, "step2.restore")
-	restoreErrs := make(chan error, len(slaves))
-	for _, sl := range slaves {
-		go func(sl Backend) { restoreErrs <- restoreSlave(sl, tenantName, dump.Rows) }(sl)
+	type restoreResult struct {
+		sl  Backend
+		err error
 	}
+	restoreErrs := make(chan restoreResult, len(slaves))
+	for _, sl := range slaves {
+		go func(sl Backend) {
+			restoreErrs <- restoreResult{sl, restoreSlave(sl, tenantName, dump.Rows, opts)}
+		}(sl)
+	}
+	var restoreErr error
+	restoreFailed := make(map[Backend]bool)
 	for range slaves {
-		if err := <-restoreErrs; err != nil {
-			return fail(err)
+		if r := <-restoreErrs; r.err != nil {
+			restoreErr = r.err
+			restoreFailed[r.sl] = true
+		}
+	}
+	if len(restoreFailed) > 0 {
+		// A failed restore discards that slave; survivors carry the
+		// migration (the paper's Sec 4.2 discard rule applied to
+		// Step 2). Only when no slave survived does the whole
+		// migration roll back.
+		live := slaves[:0]
+		for _, sl := range slaves {
+			if restoreFailed[sl] {
+				dropDatabase(sl, tenantName)
+				rep.Discarded = append(rep.Discarded, sl.BackendName())
+				obs.Trace.Emit(tenantName, "step2.slave.discarded",
+					obs.F("slave", sl.BackendName()), obs.F("err", restoreErr))
+				continue
+			}
+			live = append(live, sl)
+		}
+		slaves = live
+		if len(slaves) == 0 {
+			return fail("step2.restore", restoreErr)
 		}
 	}
 	rep.RestoreTime = time.Since(phase)
@@ -249,7 +328,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	}
 	props := make(map[Backend]*propagator, len(slaves))
 	for _, sl := range slaves {
-		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin)
+		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin, opts.OpTimeout)
 		obs.Trace.Emit(tenantName, "step3.slave.begin", obs.F("slave", sl.BackendName()))
 	}
 	t.setProgress("step3.propagate", props[slaves[0]])
@@ -282,7 +361,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	failProp := func(err error) (*Report, error) {
 		abortAll()
 		rep.PropagateTime = time.Since(phase)
-		return fail(err)
+		return fail("step3.propagate", err)
 	}
 	deadline := time.Now().Add(opts.CatchupTimeout)
 	// Caught up means the debt stays at the floor, not that it dips there
@@ -294,6 +373,9 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	var lowSince time.Time
 	var lastSample time.Time
 	for {
+		if ferr := fault.Inject(faultStep3Propagate); ferr != nil {
+			return failProp(ferr)
+		}
 		nSlaves := len(slaves)
 		discardFailed()
 		if len(slaves) == 0 {
@@ -343,10 +425,29 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		props[sl].Wait() //nolint:errcheck // judged via discardFailed below
 	}
 	discardFailed()
-	if len(slaves) == 0 {
-		return fail(fmt.Errorf("core: every slave failed during the final drain"))
+	// All-or-nothing switch-over: a candidate is promoted only once it
+	// ACKS promotion — a fresh session must round-trip a probe
+	// transaction. A candidate that fails the probe is discarded and the
+	// next surviving slave is tried; if none acks, the migration rolls
+	// back, the gate reopens on the source, and the customers gated
+	// during the drain resume there without ever observing an error.
+	var target Backend
+	for len(slaves) > 0 {
+		cand := slaves[0]
+		if err := probePromotion(cand, tenantName, opts); err != nil {
+			dropDatabase(cand, tenantName)
+			rep.Discarded = append(rep.Discarded, cand.BackendName())
+			obs.Trace.Emit(tenantName, "step4.candidate.discarded",
+				obs.F("slave", cand.BackendName()), obs.F("err", err))
+			slaves = slaves[1:]
+			continue
+		}
+		target = cand
+		break
 	}
-	target := slaves[0]
+	if target == nil {
+		return fail("step4.switchover", fmt.Errorf("core: no slave acknowledged promotion"))
+	}
 	promoted := target.BackendName() != destName
 	rep.Propagation = props[target].Stats()
 	t.switchOver(target)
@@ -377,12 +478,17 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 }
 
 // restoreSlave creates the tenant database on a slave node and replays the
-// dump script into it.
-func restoreSlave(sl Backend, tenant string, rows [][]sqlmini.Value) error {
+// dump script into it. The dial retries transient failures per the
+// migration's retry policy — restoring onto a briefly-partitioned node
+// succeeds once the partition heals within the backoff schedule.
+func restoreSlave(sl Backend, tenant string, rows [][]sqlmini.Value, opts MigrateOptions) error {
+	if ferr := fault.Inject(faultStep2Restore); ferr != nil {
+		return ferr
+	}
 	if err := sl.CreateDatabase(tenant); err != nil {
 		return err
 	}
-	restore, err := sl.Connect(tenant)
+	restore, err := connectRetry(sl, tenant, faultRestoreDial, opts)
 	if err != nil {
 		return err
 	}
@@ -395,6 +501,80 @@ func restoreSlave(sl Backend, tenant string, rows [][]sqlmini.Value) error {
 	return nil
 }
 
+// probePromotion asks a switch-over candidate to acknowledge promotion:
+// a fresh session must round-trip an empty probe transaction. Until the
+// ack arrives nothing is committed — the tenant still points at the
+// source — which is what makes Step 4 all-or-nothing.
+func probePromotion(sl Backend, tenant string, opts MigrateOptions) error {
+	if ferr := fault.Inject(faultStep4Switch); ferr != nil {
+		return ferr
+	}
+	c, err := connectRetry(sl, tenant, "", opts)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := c.Exec("BEGIN"); err != nil {
+		return err
+	}
+	if _, err := c.Exec("COMMIT"); err != nil {
+		return err
+	}
+	return nil
+}
+
+// connectRetry dials a tenant session on node under the migration's
+// retry policy: transient failures (transport losses, injected faults at
+// the optional failpoint site) back off exponentially and redial;
+// server-reported errors fail fast. The session inherits the migration's
+// op timeout.
+func connectRetry(node Backend, tenant, site string, opts MigrateOptions) (*wire.Client, error) {
+	p := opts.Retry
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	attempts := p.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			sleep(p.Backoff(attempt))
+			obsMigRetries.Inc()
+		}
+		if site != "" {
+			if ferr := fault.Inject(site); ferr != nil {
+				lastErr = ferr
+				if transientErr(ferr) {
+					continue
+				}
+				return nil, ferr
+			}
+		}
+		c, err := node.Connect(tenant)
+		if err == nil {
+			if opts.OpTimeout > 0 {
+				c.SetOpTimeout(opts.OpTimeout)
+			}
+			return c, nil
+		}
+		lastErr = err
+		if !transientErr(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// transientErr reports whether a destination failure is worth retrying:
+// transport losses and injected faults, never server-reported statement
+// errors.
+func transientErr(err error) bool {
+	return wire.IsTransportError(err) || fault.IsInjected(err)
+}
+
 // dropDatabase best-effort drops a tenant database on a node.
 func dropDatabase(node Backend, db string) {
 	node.DropDatabase(db) //nolint:errcheck // absent database is fine
@@ -405,6 +585,9 @@ func (r *Report) String() string {
 	status := "ok"
 	if r.Failed {
 		status = "FAILED: " + r.Err.Error()
+		if r.RollbackStep != "" {
+			status = "FAILED at " + r.RollbackStep + ": " + r.Err.Error()
+		}
 	}
 	return fmt.Sprintf("migrate %s %s->%s [%s] total=%v drain=%v snap=%v restore=%v propagate=%v switch=%v suspend=%v syncsets=%d maxGroup=%d %s",
 		r.Tenant, r.Source, r.Dest, r.Strategy, r.Total().Round(time.Millisecond),

@@ -26,4 +26,8 @@ var (
 	obsMigStarted   = obs.NewCounter("core.migrations.started", "migrations begun")
 	obsMigCompleted = obs.NewCounter("core.migrations.completed", "migrations switched over")
 	obsMigFailed    = obs.NewCounter("core.migrations.failed", "migrations aborted")
+
+	// Fault tolerance (the rollback path and its retries).
+	obsMigRollbacks = obs.NewCounter("core.migrations.rollbacks", "failed migrations rolled back to normal service on the source")
+	obsMigRetries   = obs.NewCounter("core.migrations.retries", "destination dials retried during migration")
 )

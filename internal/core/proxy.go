@@ -32,6 +32,16 @@ type Options struct {
 	// ListenAddr for the customer-facing wire server. Defaults to
 	// "127.0.0.1:0".
 	ListenAddr string
+	// OpTimeout bounds each middleware-issued destination operation
+	// during migrations (restore, propagation replay, promotion probe) so
+	// a hung destination surfaces as a connection loss. Defaults to 10s;
+	// negative disables the bound.
+	OpTimeout time.Duration
+	// Retry is the default policy for retrying the migration's own
+	// idempotent destination operations (dials, the promotion probe).
+	// Defaults to 4 attempts from 25ms exponential backoff capped at
+	// 500ms with 20% jitter; MaxAttempts < 0 disables retries.
+	Retry wire.RetryPolicy
 }
 
 // Backend is a DBMS node as the middleware sees it: a name, per-database
@@ -77,6 +87,17 @@ func New(opts Options) (*Middleware, error) {
 	}
 	if opts.ListenAddr == "" {
 		opts.ListenAddr = "127.0.0.1:0"
+	}
+	if opts.OpTimeout == 0 {
+		opts.OpTimeout = 10 * time.Second
+	}
+	if opts.Retry.MaxAttempts == 0 {
+		opts.Retry = wire.RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 25 * time.Millisecond,
+			MaxBackoff:  500 * time.Millisecond,
+			Jitter:      0.2,
+		}
 	}
 	m := &Middleware{
 		opts:    opts,

@@ -50,6 +50,37 @@ func NewTenant(name string, node Backend) *Tenant {
 	return t
 }
 
+// TenantState classifies a tenant's service mode.
+type TenantState int
+
+const (
+	// StateNormal: single-master service, no migration machinery active.
+	StateNormal TenantState = iota
+	// StateMigrating: a migration holds the tenant in any of Steps 1-4 —
+	// capture is linking syncsets, a step phase is published, or the
+	// gate is closed.
+	StateMigrating
+)
+
+func (s TenantState) String() string {
+	if s == StateMigrating {
+		return "migrating"
+	}
+	return "normal"
+}
+
+// State reports whether the tenant is in normal single-master service or
+// mid-migration. After a rollback it must report StateNormal again: the
+// chaos suite pins that every fail path clears capture, phase, and gate.
+func (t *Tenant) State() TenantState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.migrating || t.phase != "" || t.gate {
+		return StateMigrating
+	}
+	return StateNormal
+}
+
 // Node returns the tenant's current master node and routing generation.
 func (t *Tenant) Node() (Backend, int) {
 	t.mu.Lock()

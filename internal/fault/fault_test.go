@@ -1,0 +1,208 @@
+//go:build faultinject
+
+package fault
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestErrorOnceAndTimes(t *testing.T) {
+	defer Reset()
+	Enable("t.once", Policy{Times: 1})
+	if err := Inject("t.once"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first hit: got %v, want ErrInjected", err)
+	}
+	if err := Inject("t.once"); err != nil {
+		t.Fatalf("second hit after Times=1: got %v, want nil", err)
+	}
+	if got := SiteHits("t.once"); got != 2 {
+		t.Fatalf("SiteHits = %d, want 2", got)
+	}
+	if got := SiteFired("t.once"); got != 1 {
+		t.Fatalf("SiteFired = %d, want 1", got)
+	}
+
+	Enable("t.thrice", Policy{Times: 3})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Inject("t.thrice") != nil {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("Times=3 fired %d times over 5 hits", fired)
+	}
+}
+
+func TestSkipTargetsLaterHits(t *testing.T) {
+	defer Reset()
+	Enable("t.skip", Policy{Skip: 2, Times: 1})
+	for i := 0; i < 2; i++ {
+		if err := Inject("t.skip"); err != nil {
+			t.Fatalf("hit %d within Skip window: got %v", i+1, err)
+		}
+	}
+	if err := Inject("t.skip"); err == nil {
+		t.Fatal("third hit should fire")
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Enable("t.err", Policy{Err: boom, Times: 1})
+	if err := Inject("t.err"); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want custom error", err)
+	}
+}
+
+func TestDropIsTypedAndInjected(t *testing.T) {
+	defer Reset()
+	Enable("t.drop", Policy{Drop: true, Times: 1})
+	err := Inject("t.drop")
+	if !IsConnDrop(err) {
+		t.Fatalf("got %v, want conn drop", err)
+	}
+	if !IsInjected(err) {
+		t.Fatal("drop error should also satisfy IsInjected")
+	}
+	var de *DropError
+	if !errors.As(err, &de) || de.Site != "t.drop" {
+		t.Fatalf("drop error should carry the site name, got %v", err)
+	}
+}
+
+func TestDelayReturnsNil(t *testing.T) {
+	defer Reset()
+	Enable("t.delay", Policy{Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := Inject("t.delay"); err != nil {
+		t.Fatalf("pure delay should return nil, got %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay policy returned after %v, want ≥20ms", d)
+	}
+}
+
+func TestHangUntilReleased(t *testing.T) {
+	defer Reset()
+	Enable("t.hang", Policy{Hang: true, Times: 1})
+	done := make(chan error, 1)
+	go func() { done <- Inject("t.hang") }()
+
+	// The goroutine must park, not return.
+	select {
+	case err := <-done:
+		t.Fatalf("hang site returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	Release("t.hang")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("released hang should return nil, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Release did not free the parked goroutine")
+	}
+	// After the Times=1 hang fired, later hits pass straight through.
+	if err := Inject("t.hang"); err != nil {
+		t.Fatalf("post-hang hit: got %v", err)
+	}
+}
+
+func TestResetFreesHangers(t *testing.T) {
+	defer Reset()
+	Enable("t.hang2", Policy{Hang: true})
+	done := make(chan struct{})
+	go func() { _ = Inject("t.hang2"); close(done) }()
+	time.Sleep(10 * time.Millisecond)
+	Reset()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Reset did not free the parked goroutine")
+	}
+	if err := Inject("t.hang2"); err != nil {
+		t.Fatalf("after Reset the site must be unarmed, got %v", err)
+	}
+}
+
+func TestProbabilisticIsSeededAndDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		Seed(42)
+		Enable("t.p", Policy{P: 0.5})
+		out := make([]bool, 100)
+		for i := range out {
+			out[i] = Inject("t.p") != nil
+		}
+		Disable("t.p")
+		return out
+	}
+	a, b := run(), run()
+	firedCount := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			firedCount++
+		}
+	}
+	if firedCount == 0 || firedCount == len(a) {
+		t.Fatalf("P=0.5 fired %d/%d times; want a mix", firedCount, len(a))
+	}
+}
+
+func TestUnarmedSitesPassAndListSorts(t *testing.T) {
+	defer Reset()
+	if err := Inject("t.never-armed"); err != nil {
+		t.Fatalf("unarmed site returned %v", err)
+	}
+	Enable("t.b", Policy{})
+	Enable("t.a", Policy{})
+	got := List()
+	if len(got) != 2 || got[0] != "t.a" || got[1] != "t.b" {
+		t.Fatalf("List = %v, want [t.a t.b]", got)
+	}
+	Disable("t.a")
+	Disable("t.b")
+	// Registry fully disarmed: fast path active again.
+	if err := Inject("t.a"); err != nil {
+		t.Fatalf("disabled site returned %v", err)
+	}
+}
+
+func TestConcurrentInjectIsSafe(t *testing.T) {
+	defer Reset()
+	Enable("t.conc", Policy{Times: 50})
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	total := 0
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 100; i++ {
+				if Inject("t.conc") != nil {
+					n++
+				}
+			}
+			mu.Lock()
+			total += n
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if total != 50 {
+		t.Fatalf("Times=50 fired %d times across goroutines", total)
+	}
+	if got := SiteHits("t.conc"); got != 800 {
+		t.Fatalf("SiteHits = %d, want 800", got)
+	}
+}

@@ -1,0 +1,116 @@
+package lsir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// These tests machine-check the soundness of the manager's rollback protocol
+// (core.Migrate's fail path) in the formal model: aborting propagation at an
+// arbitrary point leaves the slave holding a transaction-consistent prefix of
+// the master's commit order and nothing else, so discarding it loses no
+// committed work; and a retry from a fresh snapshot taken at any later
+// master commit index reproduces the master's final state exactly.
+
+// applySchedule executes schedule ops against state with the SI engine's
+// commit semantics (writes buffered per transaction, applied atomically at
+// commit) and returns the set of transactions that committed.
+func applySchedule(state map[string]int, ops []Op) map[int]bool {
+	buf := make(map[int][]Op)
+	committed := make(map[int]bool)
+	for _, op := range ops {
+		switch op.Kind {
+		case OpWrite:
+			buf[op.Txn] = append(buf[op.Txn], op)
+		case OpCommit:
+			committed[op.Txn] = true
+			for _, w := range buf[op.Txn] {
+				state[w.Item] = w.Txn
+			}
+		}
+	}
+	return committed
+}
+
+// TestRollbackLemmaPrefixAtomicity: stopping the Madeus schedule after ANY
+// number of operations leaves the slave in the state produced by a prefix of
+// the master's commit (ETS) order — never a partial transaction, never a
+// commit applied ahead of an earlier one it depends on.
+func TestRollbackLemmaPrefixAtomicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 200; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		sets := MapHistory(h)
+		sched := MadeusSchedule(sets)
+		for n := 0; n <= len(sched.Ops); n++ {
+			state := make(map[string]int)
+			committed := applySchedule(state, sched.Ops[:n])
+
+			// The committed set must be an ETS-prefix of the master's
+			// commit order.
+			k := 0
+			for k < len(sets) && committed[sets[k].Txn] {
+				k++
+			}
+			if len(committed) != k {
+				t.Fatalf("trial %d prefix %d: committed set %v is not an ETS prefix of %s",
+					trial, n, committed, h)
+			}
+
+			// And the state must be exactly those syncsets' writes in
+			// ETS order — the state a fresh snapshot at commit index k
+			// would contain.
+			want := make(map[string]int)
+			for _, ss := range sets[:k] {
+				for _, w := range ss.Writes() {
+					want[w.Item] = w.Txn
+				}
+			}
+			if len(state) != len(want) {
+				t.Fatalf("trial %d prefix %d: slave has %d items, want %d (history %s)",
+					trial, n, len(state), len(want), h)
+			}
+			for item, ver := range want {
+				if state[item] != ver {
+					t.Fatalf("trial %d prefix %d: item %s is version %d, want %d (history %s)",
+						trial, n, item, state[item], ver, h)
+				}
+			}
+		}
+	}
+}
+
+// TestRollbackLemmaRetryEquivalence: discard the aborted slave entirely,
+// take a fresh snapshot at an arbitrary master commit index (the retry's
+// fresh MTS), propagate the remaining syncsets with the Madeus schedule, and
+// the result equals the master's final state — the abort lost nothing and
+// the retry needs no memory of the failed attempt.
+func TestRollbackLemmaRetryEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		h := Generate(rng, DefaultGenConfig())
+		sets := MapHistory(h)
+		want := h.FinalState()
+		for cut := 0; cut <= len(sets); cut++ {
+			// Fresh snapshot at master commit index cut: the writes of
+			// every syncset the master had committed by then.
+			state := make(map[string]int)
+			for _, ss := range sets[:cut] {
+				for _, w := range ss.Writes() {
+					state[w.Item] = w.Txn
+				}
+			}
+			applySchedule(state, MadeusSchedule(sets[cut:]).Ops)
+			if len(state) != len(want) {
+				t.Fatalf("trial %d cut %d: final state has %d items, want %d (history %s)",
+					trial, cut, len(state), len(want), h)
+			}
+			for item, ver := range want {
+				if state[item] != ver {
+					t.Fatalf("trial %d cut %d: item %s is version %d, want %d (history %s)",
+						trial, cut, item, state[item], ver, h)
+				}
+			}
+		}
+	}
+}

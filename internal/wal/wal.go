@@ -20,9 +20,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"madeus/internal/fault"
 	"madeus/internal/invariant"
 	"madeus/internal/obs"
 	"madeus/internal/simlat"
+)
+
+// Failpoint sites (armed only under -tags faultinject). The simulated log
+// has no error path — Append and fsync cannot fail — so these sites model
+// latency faults: a Delay policy is a slow disk, a Hang policy a stalled
+// device. Error policies injected here are absorbed (the returned error
+// is discarded by design).
+const (
+	faultAppend = "wal.append"
+	faultFsync  = "wal.fsync"
 )
 
 // Process-wide observability: one engine process may host several logs (the
@@ -134,6 +145,7 @@ func New(opts Options) *Log {
 
 // Append buffers a record, assigning its LSN. It does not sync.
 func (l *Log) Append(rec Record) {
+	_ = fault.Inject(faultAppend)
 	rec.LSN = l.records.Add(1)
 	obsRecords.Inc()
 	if l.opts.RetainRecords > 0 {
@@ -228,6 +240,7 @@ func (l *Log) committer() {
 }
 
 func (l *Log) fsync() {
+	_ = fault.Inject(faultFsync)
 	simlat.IO(l.opts.SyncDelay)
 	l.fsyncs.Add(1)
 	obsFsyncs.Inc()

@@ -2,22 +2,103 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/fault"
 )
+
+// Client-side failpoint sites (armed only under -tags faultinject).
+const (
+	faultDial  = "wire.dial"
+	faultExec  = "wire.exec"
+	faultWrite = "wire.write"
+	faultRead  = "wire.read"
+)
+
+// ErrConnLost is the sentinel matched by errors.Is when a client
+// connection died mid-operation: the peer vanished, an op timeout
+// expired, or the protocol stream desynchronized. The concrete error is
+// always a *ConnLostError carrying the failing op and cause.
+var ErrConnLost = errors.New("wire: connection lost")
+
+// ConnLostError reports that the client's connection is unusable. Once
+// returned, the Client is poisoned: a response to the in-flight request
+// may still arrive and would be misattributed to the next one, so the
+// socket is closed and only a redial (ExecRetry does it) can revive the
+// session.
+type ConnLostError struct {
+	Op    string // "dial", "write", "read", "exec"
+	Cause error
+}
+
+func (e *ConnLostError) Error() string {
+	return fmt.Sprintf("wire: connection lost during %s: %v", e.Op, e.Cause)
+}
+
+func (e *ConnLostError) Unwrap() error { return e.Cause }
+
+// Is matches the ErrConnLost sentinel.
+func (e *ConnLostError) Is(target error) bool { return target == ErrConnLost }
+
+// RetryPolicy controls ExecRetry: exponential backoff from BaseBackoff,
+// doubling per attempt, capped at MaxBackoff, with ±Jitter (a fraction of
+// the backoff) of randomization so a herd of retrying clients does not
+// reconnect in lockstep. Sleep defaults to time.Sleep; tests substitute a
+// fake clock to assert the schedule deterministically.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts including the first; ≤1 disables retries
+	BaseBackoff time.Duration // backoff before the first retry
+	MaxBackoff  time.Duration // cap on the doubled backoff (0 = no cap)
+	Jitter      float64       // fraction of the backoff randomized, e.g. 0.2
+	Sleep       func(time.Duration)
+}
+
+// Backoff returns the pause before retry n (1-based).
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	d := p.BaseBackoff
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	for i := 1; i < n; i++ {
+		d *= 2
+		if p.MaxBackoff > 0 && d >= p.MaxBackoff {
+			d = p.MaxBackoff
+			break
+		}
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	if p.Jitter > 0 {
+		d += time.Duration((rand.Float64()*2 - 1) * p.Jitter * float64(d))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
 
 // Client is a protocol client bound to one database session. A Client is
 // used by one goroutine at a time (matching the request/response discipline:
 // "After receiving the response of the operation, the customer sends a new
 // operation", Sec 4.2).
 type Client struct {
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-	rtt  time.Duration
+	addr     string
+	database string
+	rtt      time.Duration
+
+	conn   net.Conn
+	br     *bufio.Reader
+	bw     *bufio.Writer
+	broken bool // connection poisoned; only a redial revives the session
+
+	opTimeout time.Duration
+	retry     RetryPolicy
 }
 
 // Dial connects to addr and starts a session on database.
@@ -28,24 +109,61 @@ func Dial(addr, database string) (*Client, error) {
 // DialRTT is Dial with a simulated network round-trip time added to every
 // Exec (the latency-injection knob standing in for the paper's 1 GbE LAN).
 func DialRTT(addr, database string, rtt time.Duration) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
-	c := &Client{
-		conn: conn,
-		br:   bufio.NewReader(conn),
-		bw:   bufio.NewWriter(conn),
-		rtt:  rtt,
-	}
-	if err := c.startup(database); err != nil {
-		conn.Close()
+	c := &Client{addr: addr, database: database, rtt: rtt, broken: true}
+	if err := c.redial(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
+// SetOpTimeout bounds every subsequent Exec: the whole request/response
+// exchange must finish within d or the connection is declared lost
+// (deadline-based; an expired op poisons the conn because its response
+// may still arrive later). 0 disables the bound.
+func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
+
+// SetRetry installs the policy ExecRetry uses.
+func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+
+// Broken reports whether the connection has been poisoned by a transport
+// failure and needs a redial.
+func (c *Client) Broken() bool { return c.broken }
+
+// redial (re)establishes the TCP connection and the session. Usable both
+// for the first dial and to revive a poisoned client.
+func (c *Client) redial() error {
+	if c.conn != nil {
+		_ = c.conn.Close()
+		c.conn = nil
+	}
+	c.broken = true
+	if err := fault.Inject(faultDial); err != nil {
+		if fault.IsConnDrop(err) {
+			return &ConnLostError{Op: "dial", Cause: err}
+		}
+		return err
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	c.bw = bufio.NewWriter(conn)
+	if err := c.startup(c.database); err != nil {
+		conn.Close()
+		c.conn = nil
+		return err
+	}
+	c.broken = false
+	return nil
+}
+
 func (c *Client) startup(database string) error {
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
 	if err := writeMsg(c.bw, MsgStartup, []byte(database)); err != nil {
 		return err
 	}
@@ -67,20 +185,41 @@ func (c *Client) startup(database string) error {
 
 // Exec sends one statement and waits for its result. A *ServerError return
 // means the server processed the request and reported a failure (e.g. a
-// serialization abort); other errors are transport failures.
+// serialization abort); a *ConnLostError (errors.Is ErrConnLost) means the
+// transport died and the statement's fate is unknown.
 func (c *Client) Exec(sql string) (*engine.Result, error) {
 	if c.rtt > 0 {
 		time.Sleep(c.rtt)
 	}
+	if c.broken {
+		return nil, &ConnLostError{Op: "exec", Cause: errors.New("client not connected")}
+	}
+	if err := fault.Inject(faultExec); err != nil {
+		return nil, c.faulted("exec", err)
+	}
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer func() {
+			if !c.broken {
+				_ = c.conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := fault.Inject(faultWrite); err != nil {
+		return nil, c.faulted("write", err)
+	}
 	if err := writeMsg(c.bw, MsgQuery, []byte(sql)); err != nil {
-		return nil, err
+		return nil, c.lost("write", err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return nil, err
+		return nil, c.lost("write", err)
+	}
+	if err := fault.Inject(faultRead); err != nil {
+		return nil, c.faulted("read", err)
 	}
 	typ, payload, err := readMsg(c.br)
 	if err != nil {
-		return nil, err
+		return nil, c.lost("read", err)
 	}
 	switch typ {
 	case MsgResult:
@@ -88,13 +227,81 @@ func (c *Client) Exec(sql string) (*engine.Result, error) {
 	case MsgError:
 		return nil, &ServerError{Msg: string(payload)}
 	}
-	return nil, fmt.Errorf("wire: unexpected response type %q", typ)
+	// Unknown frame type: the stream is desynchronized, same poisoning
+	// rules as a dead peer.
+	return nil, c.lost("read", fmt.Errorf("wire: unexpected response type %q", typ))
+}
+
+// ExecRetry is Exec plus the client's RetryPolicy: transport failures
+// (and injected faults) on *idempotent* statements are retried with
+// exponential backoff, redialing when the connection was poisoned.
+// Non-idempotent statements are never retried — a lost response leaves
+// the statement's fate unknown, and replaying e.g. an increment would
+// double-apply it; server-reported errors are never retried either.
+func (c *Client) ExecRetry(sql string, idempotent bool) (*engine.Result, error) {
+	res, err := c.Exec(sql)
+	if err == nil || !idempotent || !retryable(err) {
+		return res, err
+	}
+	p := c.retry
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 1; attempt < p.MaxAttempts; attempt++ {
+		sleep(p.Backoff(attempt))
+		obsRetries.Inc()
+		if c.broken {
+			if derr := c.redial(); derr != nil {
+				err = derr
+				if !retryable(err) {
+					return nil, err
+				}
+				continue
+			}
+		}
+		res, err = c.Exec(sql)
+		if err == nil || !retryable(err) {
+			return res, err
+		}
+	}
+	return nil, err
+}
+
+// retryable reports whether err may be transient: transport failures and
+// injected faults, never server-reported statement errors.
+func retryable(err error) bool {
+	return IsTransportError(err) || fault.IsInjected(err)
+}
+
+// faulted translates an injected error: a conn-drop closes the socket
+// and surfaces as the same typed loss a real dead peer would produce;
+// other injected errors pass through unchanged.
+func (c *Client) faulted(op string, err error) error {
+	if fault.IsConnDrop(err) {
+		return c.lost(op, err)
+	}
+	return err
+}
+
+// lost poisons the client and returns the typed loss.
+func (c *Client) lost(op string, cause error) error {
+	c.broken = true
+	if c.conn != nil {
+		_ = c.conn.Close()
+	}
+	return &ConnLostError{Op: op, Cause: cause}
 }
 
 // Close terminates the session and the connection. The terminate message is
 // best-effort: the connection is closed regardless.
 func (c *Client) Close() error {
-	_ = writeMsg(c.bw, MsgTerminate, nil)
-	_ = c.bw.Flush()
+	if c.conn == nil {
+		return nil
+	}
+	if !c.broken {
+		_ = writeMsg(c.bw, MsgTerminate, nil)
+		_ = c.bw.Flush()
+	}
 	return c.conn.Close()
 }

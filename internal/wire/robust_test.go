@@ -3,12 +3,16 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"net"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"madeus/internal/engine"
 	"madeus/internal/sqlmini"
+	"madeus/internal/testutil"
 )
 
 // rawConn opens a TCP connection to the server without the client wrapper.
@@ -105,5 +109,259 @@ func TestDecodeResultBadValueKind(t *testing.T) {
 	full[len(full)-9] = 0xFF // the kind byte of the single INT value
 	if _, err := DecodeResult(full); err == nil {
 		t.Error("corrupt kind not detected")
+	}
+}
+
+// scriptedAddr starts a raw protocol server whose per-session behavior is
+// given by script (invoked with a 0-based session index per accepted
+// connection). It lets the client tests stage byzantine peers: servers that
+// never reply, drop mid-frame, or heal on a later session.
+func scriptedAddr(t *testing.T, script func(sess int, conn net.Conn, br *bufio.Reader)) string {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	t.Cleanup(func() {
+		ln.Close()
+		wg.Wait()
+	})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for sess := 0; ; sess++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func(sess int, conn net.Conn) {
+				defer wg.Done()
+				defer conn.Close()
+				script(sess, conn, bufio.NewReader(conn))
+			}(sess, conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// startupOK plays the server side of the session handshake.
+func startupOK(conn net.Conn, br *bufio.Reader) bool {
+	if _, _, err := readMsg(br); err != nil {
+		return false
+	}
+	return writeMsg(conn, MsgReady, nil) == nil
+}
+
+func TestOpTimeoutExpiryIsTypedConnLoss(t *testing.T) {
+	// A server that accepts the query and then goes silent: the op
+	// timeout must convert the stall into a typed connection loss and
+	// poison the client (the stale response could arrive later).
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		for {
+			if _, _, err := readMsg(br); err != nil {
+				return // client hung up
+			}
+			// swallow the query, never answer
+		}
+	})
+	c, err := Dial(addr, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetOpTimeout(50 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Exec("SELECT 1 FROM t")
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("got %v, want ErrConnLost", err)
+	}
+	var cl *ConnLostError
+	if !errors.As(err, &cl) || cl.Op != "read" {
+		t.Errorf("got %#v, want *ConnLostError with Op=read", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("timeout took %v, bound was 50ms", elapsed)
+	}
+	if !c.Broken() {
+		t.Error("client not poisoned after op timeout")
+	}
+	// Poisoned clients fail fast, they do not touch the dead socket.
+	if _, err := c.Exec("SELECT 1 FROM t"); !errors.Is(err, ErrConnLost) {
+		t.Errorf("exec on poisoned client: %v, want ErrConnLost", err)
+	}
+}
+
+func TestMidMessageConnDropIsTypedConnLoss(t *testing.T) {
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		if _, _, err := readMsg(br); err != nil {
+			return
+		}
+		// Half a result frame, then hang up mid-message.
+		conn.Write([]byte{MsgResult, 0x00, 0x00})
+	})
+	c, err := Dial(addr, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Exec("SELECT 1 FROM t")
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("got %v, want ErrConnLost", err)
+	}
+	if !IsTransportError(err) {
+		t.Error("conn loss not classified as a transport error")
+	}
+	if !c.Broken() {
+		t.Error("client not poisoned after mid-message drop")
+	}
+}
+
+func TestExecRetryBackoffSchedule(t *testing.T) {
+	// Every session drops right after the query, so every attempt fails:
+	// the captured sleeps must follow the doubling-capped schedule
+	// exactly (Jitter 0 makes it deterministic).
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		readMsg(br) // the query; drop the conn by returning
+	})
+	c, err := Dial(addr, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sleeps []time.Duration
+	c.SetRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		Jitter:      0,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	if _, err := c.ExecRetry("SELECT 1 FROM t", true); !errors.Is(err, ErrConnLost) {
+		t.Fatalf("got %v, want ErrConnLost after exhausting retries", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond, 40 * time.Millisecond}
+	if len(sleeps) != len(want) {
+		t.Fatalf("slept %v, want %v", sleeps, want)
+	}
+	for i := range want {
+		if sleeps[i] != want[i] {
+			t.Errorf("retry %d slept %v, want %v", i+1, sleeps[i], want[i])
+		}
+	}
+}
+
+func TestExecRetryNeverRetriesNonIdempotent(t *testing.T) {
+	var queries atomic.Int32
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		if _, _, err := readMsg(br); err == nil {
+			queries.Add(1)
+		}
+		// drop: the statement's fate is now unknown to the client
+	})
+	c, err := Dial(addr, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sleeps int
+	c.SetRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(time.Duration) { sleeps++ },
+	})
+	_, err = c.ExecRetry("UPDATE t SET n = n + 1", false)
+	if !errors.Is(err, ErrConnLost) {
+		t.Fatalf("got %v, want ErrConnLost", err)
+	}
+	if got := queries.Load(); got != 1 {
+		t.Errorf("server saw %d queries, want exactly 1 (a replay would double-apply)", got)
+	}
+	if sleeps != 0 {
+		t.Errorf("slept %d times, want 0", sleeps)
+	}
+}
+
+func TestExecRetryNeverRetriesServerErrors(t *testing.T) {
+	_, srv := newServer(t)
+	c, err := Dial(srv.Addr(), "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sleeps int
+	c.SetRetry(RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: time.Millisecond,
+		Sleep:       func(time.Duration) { sleeps++ },
+	})
+	_, err = c.ExecRetry("SELECT * FROM missing", true)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("got %v, want *ServerError", err)
+	}
+	if sleeps != 0 {
+		t.Errorf("slept %d times on a server-reported error, want 0", sleeps)
+	}
+}
+
+func TestExecRetryRedialsAndSucceeds(t *testing.T) {
+	// Session 0 drops after the query; session 1 answers. ExecRetry must
+	// back off once, redial, and return the healthy session's result.
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		for {
+			if _, _, err := readMsg(br); err != nil {
+				return
+			}
+			if sess == 0 {
+				return // drop mid-conversation
+			}
+			payload := EncodeResult(&engine.Result{Tag: "SELECT 0"})
+			if writeMsg(conn, MsgResult, payload) != nil {
+				return
+			}
+		}
+	})
+	c, err := Dial(addr, "db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var sleeps []time.Duration
+	c.SetRetry(RetryPolicy{
+		MaxAttempts: 3,
+		BaseBackoff: 10 * time.Millisecond,
+		Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	res, err := c.ExecRetry("SELECT 1 FROM t", true)
+	if err != nil {
+		t.Fatalf("ExecRetry after heal: %v", err)
+	}
+	if res.Tag != "SELECT 0" {
+		t.Errorf("Tag = %q", res.Tag)
+	}
+	if len(sleeps) != 1 || sleeps[0] != 10*time.Millisecond {
+		t.Errorf("sleeps = %v, want one 10ms backoff", sleeps)
+	}
+	if c.Broken() {
+		t.Error("client still poisoned after successful redial")
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/fault"
 	"madeus/internal/obs"
 )
 
@@ -21,7 +22,13 @@ var (
 	obsBytesIn     = obs.NewCounter("wire.bytes.in", "request payload bytes received")
 	obsBytesOut    = obs.NewCounter("wire.bytes.out", "response payload bytes sent")
 	obsOpLatency   = obs.NewHistogram("wire.op.latency", "server-side per-operation latency", obs.DurationBuckets())
+	obsRetries     = obs.NewCounter("wire.retries", "client-side op retries after transport failures")
 )
+
+// faultServeOp is the server-side per-op failpoint: a drop policy hangs
+// up mid-conversation (the client sees the peer vanish); an error policy
+// answers the query with a server error.
+const faultServeOp = "wire.serve.op"
 
 // Conn is one server-side session: what a connected client can do.
 // *engine.Session satisfies it.
@@ -145,6 +152,16 @@ func (s *Server) serve(conn net.Conn) {
 		}
 		switch typ {
 		case MsgQuery:
+			if ferr := fault.Inject(faultServeOp); ferr != nil {
+				if fault.IsConnDrop(ferr) {
+					return // vanish mid-conversation
+				}
+				_ = writeMsg(bw, MsgError, []byte(ferr.Error()))
+				if bw.Flush() != nil {
+					return
+				}
+				continue
+			}
 			obsOps.Inc()
 			obsBytesIn.Add(uint64(len(payload) + msgHeaderLen))
 			start := time.Now()
@@ -198,7 +215,8 @@ func IsTransportError(err error) bool {
 	if errors.As(err, &se) {
 		return false
 	}
-	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || isNetError(err)
+	return errors.Is(err, ErrConnLost) || errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) || isNetError(err)
 }
 
 func isNetError(err error) bool {

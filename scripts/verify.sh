@@ -20,3 +20,12 @@ go test -tags invariants -count=1 ./internal/wal/ ./internal/mvcc/ ./internal/ls
 go test -race -count=1 ./internal/obs/ ./internal/core/
 go run ./cmd/madeusvet ./internal/obs/ ./internal/core/ ./internal/wal/ ./internal/wire/ ./internal/engine/
 go test -count=1 -run 'TestObsDisabledOverhead|TestInvariantZeroOverhead' .
+
+# Fault-injection gate: build and race-test the failpoint registry, the
+# chaos migration suite, and the hardened wire client under -tags
+# faultinject, then assert that without the tag a fault site costs nothing
+# (and with it, at most an atomic load) on the hot path.
+go build -tags faultinject ./...
+go test -tags faultinject -race -count=1 ./internal/fault/ ./internal/core/ ./internal/wire/
+go test -count=1 -run 'TestFaultDisabledOverhead' .
+go test -tags faultinject -count=1 -run 'TestFaultDisabledOverhead' .
