@@ -60,6 +60,17 @@ func main() {
 		default:
 			usage()
 		}
+	case "flow":
+		// Backpressure surface: `flow` lists knobs + live counters,
+		// `flow set <knob> <value>` retunes one at runtime.
+		switch {
+		case len(args) == 1:
+			cmd = "FLOW"
+		case len(args) == 4 && args[1] == "set":
+			cmd = fmt.Sprintf("FLOW SET %s %s", args[2], args[3])
+		default:
+			usage()
+		}
 	case "fault":
 		// Passthrough to the failpoint registry (daemon must be built
 		// with -tags faultinject): fault list | enable <site> <policy>
@@ -102,6 +113,8 @@ commands:
   events [n]                      tail of the migration event trace (default 50)
   add-tenant <tenant> <node>      provision a tenant on a node
   migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)
+  flow                            list backpressure knobs and live counters
+  flow set <knob> <value>         retune one backpressure knob at runtime
   fault <subcmd> [args]           drive failpoints on a -tags faultinject build:
                                   list | enable <site> <error|drop|hang> [times]
                                   | enable <site> delay <dur> [times]

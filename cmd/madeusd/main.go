@@ -29,6 +29,7 @@ import (
 	"madeus/internal/cluster"
 	"madeus/internal/core"
 	"madeus/internal/engine"
+	"madeus/internal/flow"
 	"madeus/internal/obs"
 	"madeus/internal/wal"
 )
@@ -47,16 +48,25 @@ func main() {
 		catchup   = flag.Duration("catchup", 2*time.Minute, "catch-up timeout before a migration reports N/A")
 		fsync     = flag.Duration("fsync", 2*time.Millisecond, "fsync latency for -localnode engines")
 		debugAddr = flag.String("debug", "", "serve /debug/madeus JSON stats on this address (empty: disabled)")
+		noFlow    = flag.Bool("no-flow", false, "disable the backpressure/admission layer (flow knobs all zero)")
 	)
 	flag.Var(&nodes, "node", "remote DBMS node as name=addr (repeatable)")
 	flag.Var(&localNodes, "localnode", "boot an in-process DBMS node with this name (repeatable)")
 	flag.Var(&tenants, "tenant", "tenant as name@node (repeatable)")
 	flag.Parse()
 
+	// The daemon ships with the calibrated backpressure defaults (bounded
+	// SSL, adaptive pacing, watchdog, admission control); individual knobs
+	// are retunable at runtime with `madeusctl flow set`.
+	fcfg := flow.DefaultConfig()
+	if *noFlow {
+		fcfg = flow.Config{}
+	}
 	mw, err := core.New(core.Options{
 		ListenAddr:     *listen,
 		Players:        *players,
 		CatchupTimeout: *catchup,
+		Flow:           fcfg,
 	})
 	if err != nil {
 		fatal(err)

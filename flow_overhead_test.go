@@ -1,0 +1,103 @@
+package madeus
+
+import (
+	"fmt"
+	"testing"
+
+	"madeus/internal/flow"
+)
+
+// TestFlowDisabledOverhead guards the backpressure layer's cost contract,
+// the sibling of TestFaultDisabledOverhead: a tenant that is not being paced
+// pays one atomic load per commit at the Throttle.Wait site, and a tenant
+// with no session cap pays one config load per connection at Admit. Neither
+// may allocate, and the paced-commit site must stay within noise of the bare
+// loop — backpressure that is off has to be free, or it could never sit on
+// the commit path of every tenant.
+func TestFlowDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments atomics; run without -race")
+	}
+
+	var th flow.Throttle // zero value: delay 0, the disabled state
+	gov, err := flow.NewGovernor(flow.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := flow.NewLimiter("overhead", gov)
+
+	if allocs := testing.AllocsPerRun(1000, th.Wait); allocs != 0 {
+		t.Fatalf("idle Throttle.Wait allocates %.1f objects/op", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		release, err := lim.Admit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		release()
+	}); allocs != 0 {
+		t.Fatalf("uncapped Admit allocates %.1f objects/op", allocs)
+	}
+
+	var sink uint64
+	bare := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	}
+	instrumented := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			th.Wait()
+			sink += uint64(i)
+		}
+	}
+
+	const attempts = 5
+	var last string
+	for try := 0; try < attempts; try++ {
+		rBare := testing.Benchmark(bare)
+		rInst := testing.Benchmark(instrumented)
+		nsBare := float64(rBare.NsPerOp())
+		nsInst := float64(rInst.NsPerOp())
+		if nsBare <= 0 {
+			nsBare = 0.1
+		}
+		// Allow one atomic-flag load plus slack: 4x + 2ns absolute.
+		if nsInst <= 4*nsBare+2 {
+			return
+		}
+		last = fmt.Sprintf("%.1fns/op vs %.1fns/op (%.1fx)", nsInst, nsBare, nsInst/nsBare)
+	}
+	t.Fatalf("idle pace point is not free: %s across %d attempts", last, attempts)
+}
+
+// BenchmarkThrottleWaitIdle measures the per-commit price of the pace point
+// when no migration is braking the tenant — the steady state for every
+// commit in the system.
+func BenchmarkThrottleWaitIdle(b *testing.B) {
+	var th flow.Throttle
+	for i := 0; i < b.N; i++ {
+		th.Wait()
+	}
+}
+
+// BenchmarkAdmitUncapped measures the per-connection price of admission
+// control when MaxSessions is 0 (unlimited).
+func BenchmarkAdmitUncapped(b *testing.B) {
+	gov, err := flow.NewGovernor(flow.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lim := flow.NewLimiter("bench", gov)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		release, err := lim.Admit()
+		if err != nil {
+			b.Fatal(err)
+		}
+		release()
+	}
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -21,13 +22,25 @@ import (
 // faultinject tag: fault.Inject(site) arguments are evaluated even in
 // production builds where Inject is a no-op stub, so site names must be
 // precomputed constants, never built by a call on the hot path.
+//
+// The rule also enforces two declaration-site directives used by the
+// backpressure layer (internal/flow) so tuning knobs cannot silently rot:
+//
+//   - a const block marked //madeusvet:knobs may only declare constants that
+//     are actually referenced somewhere in the package — a documented knob
+//     constant nothing reads is a lie waiting for an operator.
+//   - a struct marked //madeusvet:config must have a Validate method, and
+//     every named field of the struct must be referenced inside it. New
+//     knobs therefore cannot ship without a range check.
 var InvariantCall = &Analyzer{
 	Name: "invariantcall",
-	Doc:  "invariant assertions and fault sites must only do real work under their build tags",
+	Doc:  "invariant assertions and fault sites must only do real work under their build tags; //madeusvet:knobs and //madeusvet:config declarations must stay wired and validated",
 	Run:  runInvariantCall,
 }
 
 func runInvariantCall(pass *Pass) {
+	checkKnobBlocks(pass)
+	checkConfigStructs(pass)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
@@ -80,6 +93,143 @@ func runInvariantCall(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// hasMarker reports whether doc carries the exact //madeusvet:<kind>
+// directive line.
+func hasMarker(doc *ast.CommentGroup, kind string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == "//madeusvet:"+kind {
+			return true
+		}
+	}
+	return false
+}
+
+// checkKnobBlocks enforces //madeusvet:knobs: every constant declared in a
+// marked const block must be referenced somewhere in the package. Needs type
+// info (object identity across files); silently skipped without it.
+func checkKnobBlocks(pass *Pass) {
+	if pass.Info == nil {
+		return
+	}
+	var used map[types.Object]bool // built lazily: most packages have no marked blocks
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST || !hasMarker(gd.Doc, "knobs") {
+				continue
+			}
+			if used == nil {
+				used = make(map[types.Object]bool, len(pass.Info.Uses))
+				for _, obj := range pass.Info.Uses {
+					used[obj] = true
+				}
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					if obj := pass.Info.Defs[name]; obj != nil && !used[obj] {
+						pass.Reportf(name.Pos(),
+							"knob constant %s sits in a //madeusvet:knobs block but nothing in the package reads it; wire it into the config or delete it",
+							name.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkConfigStructs enforces //madeusvet:config: a marked struct must have a
+// Validate method that references every named field, so no knob can ship
+// without a range check. Pure AST — works without type info.
+func checkConfigStructs(pass *Pass) {
+	validators := make(map[string]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Validate" || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			if name := recvTypeName(fd.Recv.List[0].Type); name != "" {
+				validators[name] = fd
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || (!hasMarker(gd.Doc, "config") && !hasMarker(ts.Doc, "config")) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				v, hasValidate := validators[ts.Name.Name]
+				if !hasValidate {
+					pass.Reportf(ts.Name.Pos(),
+						"config struct %s carries //madeusvet:config but has no Validate method; knob structs must range-check themselves",
+						ts.Name.Name)
+					continue
+				}
+				refs := selectorNames(v.Body)
+				for _, field := range st.Fields.List {
+					for _, fname := range field.Names {
+						if !refs[fname.Name] {
+							pass.Reportf(fname.Pos(),
+								"config field %s.%s is never referenced in Validate; every knob must be range-checked before use",
+								ts.Name.Name, fname.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// recvTypeName unwraps a method receiver type down to its base type name.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+// selectorNames collects every selector field/method name used in body. An
+// over-approximation of "fields Validate looks at" — good enough to catch a
+// field Validate never mentions at all.
+func selectorNames(body *ast.BlockStmt) map[string]bool {
+	refs := make(map[string]bool)
+	if body == nil {
+		return refs
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectorExpr); ok {
+			refs[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return refs
 }
 
 // isInvariantPkg reports whether ident names the internal/invariant package

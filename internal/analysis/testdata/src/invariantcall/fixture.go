@@ -49,6 +49,9 @@ func verify(s *state) error { return nil }
 
 func siteName(step int) string { return "step" }
 
+// errOutOfRange is what the config fixtures return on a failed range check.
+var errOutOfRange error
+
 const faultSiteOK = "core.step1.dump"
 
 // eagerFaultSite builds the site name with a call on every production hit
@@ -62,4 +65,61 @@ func eagerFaultSite(step int) {
 func constFaultSite() {
 	_ = fault.Inject(faultSiteOK)
 	_ = fault.Inject("core." + "step2.restore")
+}
+
+// A //madeusvet:knobs block: constants nothing in the package reads are
+// flagged; referenced ones pass.
+
+//madeusvet:knobs
+const (
+	defaultWiredKnob  = 10
+	defaultOrphanKnob = 20 // want
+)
+
+// An unmarked const block may hold unreferenced constants freely.
+const unmarkedUnused = 30
+
+var knobSink = defaultWiredKnob
+
+// goodConfig's Validate touches every field — no findings.
+
+//madeusvet:config
+type goodConfig struct {
+	Low  int
+	High int
+}
+
+func (c goodConfig) Validate() error {
+	if c.Low < 0 || c.High < c.Low {
+		return errOutOfRange
+	}
+	return nil
+}
+
+// holeyConfig's Validate checks Low but never mentions Skipped — the
+// unvalidated field is flagged at its declaration.
+
+//madeusvet:config
+type holeyConfig struct {
+	Low     int
+	Skipped int // want
+}
+
+func (c *holeyConfig) Validate() error {
+	if c.Low < 0 {
+		return errOutOfRange
+	}
+	return nil
+}
+
+// orphanConfig carries the directive but has no Validate method at all.
+
+//madeusvet:config
+type orphanConfig struct { // want
+	Low int
+}
+
+// plainStruct has no directive: no Validate required.
+type plainStruct struct {
+	Whatever int
 }

@@ -74,6 +74,14 @@ func Experiments() []Experiment {
 			t.Fprint(w)
 			return nil
 		}},
+		{"convergence", "backpressure ablation: heavy-write migration, pacing off vs on (extra, not a paper figure)", func(cfg Config, w io.Writer) error {
+			t, err := Convergence(cfg)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
 		{"ablation-overhead", "middleware worker overhead in normal processing", func(cfg Config, w io.Writer) error {
 			t, err := AblationMiddlewareOverhead(cfg)
 			if err != nil {

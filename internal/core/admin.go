@@ -8,6 +8,7 @@ import (
 
 	"madeus/internal/engine"
 	"madeus/internal/fault"
+	"madeus/internal/flow"
 	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
 )
@@ -30,9 +31,13 @@ const AdminDB = "_admin"
 //	FAULT ENABLE <site> DELAY <duration> [times]
 //	FAULT ENABLE <site> P <probability>
 //	FAULT DISABLE <site> | RELEASE <site>
+//	FLOW
+//	FLOW SET <knob> <value>
 //
 // FAULT drives the failpoint registry (internal/fault) for chaos drills;
-// it errors unless the daemon was built with -tags faultinject.
+// it errors unless the daemon was built with -tags faultinject. FLOW
+// lists the backpressure knobs (internal/flow) with the layer's live
+// counters; FLOW SET retunes one knob at runtime (re-validated).
 type adminConn struct {
 	mw *Middleware
 }
@@ -128,6 +133,9 @@ func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
 
 	case len(fields) >= 1 && upper[0] == "FAULT":
 		return a.execFault(fields, upper)
+
+	case len(fields) >= 1 && upper[0] == "FLOW":
+		return a.execFlow(fields, upper)
 	}
 	return nil, fmt.Errorf("core: unknown admin command %q", cmd)
 }
@@ -226,6 +234,39 @@ func (a *adminConn) execFault(fields, upper []string) (*engine.Result, error) {
 	return nil, fmt.Errorf("core: unknown FAULT subcommand %q", fields[1])
 }
 
+// execFlow serves the backpressure surface: FLOW lists every knob plus
+// the layer's live gauges/counters; FLOW SET retunes one knob (the new
+// configuration is validated before it is installed, so a bad value
+// leaves the running config untouched).
+func (a *adminConn) execFlow(fields, upper []string) (*engine.Result, error) {
+	gov := a.mw.Flow()
+	switch {
+	case len(fields) == 1:
+		res := &engine.Result{Columns: []string{"knob", "value"}, Tag: "FLOW"}
+		row := func(k, v string) {
+			res.Rows = append(res.Rows, []sqlmini.Value{sqlmini.NewText(k), sqlmini.NewText(v)})
+		}
+		cfg := gov.Config()
+		for _, k := range flow.KnobNames() {
+			row(k, cfg.Knob(k))
+		}
+		row("sessions", strconv.FormatInt(flow.Sessions(), 10))
+		row("admit_queue_depth", strconv.FormatInt(flow.AdmitQueueDepth(), 10))
+		row("ssl_bytes", strconv.FormatInt(flow.SSLBytes(), 10))
+		row("sheds", strconv.FormatUint(flow.Sheds(), 10))
+		row("stalls", strconv.FormatUint(flow.Stalls(), 10))
+		row("deadline_aborts", strconv.FormatUint(flow.DeadlineAborts(), 10))
+		row("ssl_overflows", strconv.FormatUint(flow.Overflows(), 10))
+		return res, nil
+	case len(fields) == 4 && upper[1] == "SET":
+		if err := gov.Set(strings.ToLower(fields[2]), fields[3]); err != nil {
+			return nil, err
+		}
+		return &engine.Result{Tag: "FLOW"}, nil
+	}
+	return nil, fmt.Errorf("core: usage: FLOW | FLOW SET <knob> <value>")
+}
+
 // execStats renders the process-wide metric registry (STATS).
 func (a *adminConn) execStats() (*engine.Result, error) {
 	res := &engine.Result{Columns: []string{"metric", "value"}, Tag: "STATS"}
@@ -256,6 +297,8 @@ func (a *adminConn) execTenantStats(tenant string) (*engine.Result, error) {
 	row("lag", strconv.Itoa(mon.Lag))
 	row("debt", strconv.Itoa(mon.Debt))
 	row("ssl_depth", strconv.Itoa(mon.SSLDepth))
+	row("ssl_bytes", strconv.FormatInt(mon.SSLBytes, 10))
+	row("pace_delay", mon.PaceDelay.String())
 	row("active_txns", strconv.Itoa(mon.ActiveTxns))
 	row("captured_ssbs", strconv.Itoa(mon.CapturedSSBs))
 	row("captured_ops", strconv.Itoa(mon.CapturedOps))

@@ -60,7 +60,7 @@ type propagator struct {
 	aborted bool
 	done    chan struct{} // closed when the run loop exits
 
-	cursor int // next SSL index to consume (run loop only)
+	cursor int // next ABSOLUTE SSL index to consume (run loop only)
 
 	// B-CON commit token: players block on herdCond and are ALL woken at
 	// every commit (the naive pthread pattern the paper blames for
@@ -133,7 +133,7 @@ func (p *propagator) Debt() int {
 	}
 	t := p.t
 	t.mu.Lock()
-	linked := len(t.ssl)
+	linked := t.sslBase + len(t.ssl)
 	bound := t.commitBoundLocked()
 	t.mu.Unlock()
 	// ETS values are contiguous from the MTS, so the number of linked
@@ -207,6 +207,16 @@ func (p *propagator) stopRequested() bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.stopReq || p.aborted
+}
+
+// Applied reports how many syncsets this propagator has replayed to
+// commit. Commits flush contiguously in ETS order from the MTS, so this is
+// also the length of the applied SSL prefix — the manager intersects it
+// across slaves to decide how much of the SSL can be released.
+func (p *propagator) Applied() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.applied
 }
 
 func (p *propagator) markApplied(ops int) {
@@ -285,16 +295,30 @@ func (p *propagator) closeConns() {
 // or stop) and returns — the caller re-evaluates with the fresh commit
 // bound, so bound-only wakeups are never swallowed. It returns the new
 // SSBs, the current commit bound, and whether a stop has been requested.
+//
+// The cursor is an absolute link index: the tenant may release the
+// already-applied prefix (releaseAppliedSSL) between calls, so the
+// retained slice is addressed at cursor-sslBase. A capture reset under an
+// abort can only shrink the index space; the cursor clamps to it.
 func (p *propagator) takeLinked(block bool) (news []*SSB, bound uint64, stopped bool) {
 	t := p.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if p.cursor == len(t.ssl) && block && !p.stopRequested() {
+	total := t.sslBase + len(t.ssl)
+	if p.cursor >= total && block && !p.stopRequested() {
 		t.cond.Wait()
+		total = t.sslBase + len(t.ssl)
 	}
-	if p.cursor < len(t.ssl) {
-		news = append(news, t.ssl[p.cursor:]...)
-		p.cursor = len(t.ssl)
+	if p.cursor > total {
+		p.cursor = total
+	}
+	if p.cursor < total {
+		start := p.cursor - t.sslBase
+		if start < 0 {
+			start = 0
+		}
+		news = append(news, t.ssl[start:]...)
+		p.cursor = total
 	}
 	return news, t.commitBoundLocked(), p.stopRequested()
 }

@@ -42,7 +42,7 @@ func slaveRig(t *testing.T) (*Tenant, *cluster.Node) {
 			t.Fatal(err)
 		}
 	}
-	tn := NewTenant("a", src)
+	tn := NewTenant("a", src, nil)
 	tn.startCapture(false)
 	return tn, dst
 }
@@ -199,7 +199,7 @@ func TestSSBHeapOrdersBySTSThenETS(t *testing.T) {
 }
 
 func TestTenantGateBlocksNewTxns(t *testing.T) {
-	tn := NewTenant("x", nil)
+	tn := NewTenant("x", nil, nil)
 	tn.setGate(true)
 	started := make(chan struct{})
 	go func() {
@@ -221,7 +221,7 @@ func TestTenantGateBlocksNewTxns(t *testing.T) {
 }
 
 func TestTenantDrainWaitsForActive(t *testing.T) {
-	tn := NewTenant("x", nil)
+	tn := NewTenant("x", nil, nil)
 	tn.txnStarted()
 	drained := make(chan struct{})
 	go func() {
@@ -244,7 +244,7 @@ func TestTenantDrainWaitsForActive(t *testing.T) {
 }
 
 func TestCommitBound(t *testing.T) {
-	tn := NewTenant("x", nil)
+	tn := NewTenant("x", nil, nil)
 	tn.mu.Lock()
 	if got := tn.commitBoundLocked(); got != ^uint64(0) {
 		t.Errorf("empty bound = %d", got)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"madeus/internal/fault"
+	"madeus/internal/flow"
 	"madeus/internal/obs"
 	"madeus/internal/sqlmini"
 	"madeus/internal/wire"
@@ -64,6 +65,18 @@ type MigrateOptions struct {
 	// destination operations (dials, the promotion probe). Zero
 	// MaxAttempts inherits the middleware's Options.Retry.
 	Retry wire.RetryPolicy
+	// Deadline bounds this migration end to end: past it the watchdog
+	// aborts through the rollback protocol instead of letting Step 3 churn
+	// until CatchupTimeout. 0 inherits the middleware's flow.Config.
+	Deadline time.Duration
+	// StallWindow aborts the migration when the primary slave makes no
+	// replay progress for this long (hung-slave detection). 0 inherits the
+	// middleware's flow.Config.
+	StallWindow time.Duration
+	// DisablePacing turns adaptive source pacing off for this migration
+	// even when the middleware's flow.Config enables it (used by tests and
+	// benchrunner to measure the unpaced divergence).
+	DisablePacing bool
 }
 
 // Report describes a completed (or failed) migration.
@@ -171,6 +184,18 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	if opts.Retry.MaxAttempts == 0 {
 		opts.Retry = m.opts.Retry
 	}
+	// Flow-layer knobs: one config snapshot governs the whole attempt, so
+	// a concurrent FLOW SET cannot change the rules mid-migration.
+	fcfg := m.flow.Config()
+	if opts.Deadline <= 0 {
+		opts.Deadline = fcfg.Deadline
+	}
+	if opts.StallWindow <= 0 {
+		opts.StallWindow = fcfg.StallWindow
+	}
+	if opts.DisablePacing {
+		fcfg.PaceMaxDelay = 0
+	}
 
 	rep := &Report{
 		Tenant:   tenantName,
@@ -197,6 +222,9 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	// Capture starts before the snapshot so operations racing the dump
 	// are saved (Step 1: "Madeus saves the operations as a syncset").
 	t.startCapture(opts.Strategy.captureAll())
+	// Whatever way this attempt ends, the pacing brake comes off: a rolled
+	// back or completed migration must never leave the tenant throttled.
+	defer t.throttle.Set(0)
 
 	// fail is the rollback path: whatever step died, the tenant returns
 	// to normal single-master service on the source — capture stops and
@@ -251,7 +279,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	//madeusvet:ignore lockdiscipline critical region: the snapshot must pin while first ops and commits are excluded (Algorithm 3, lines 1-5)
 	_, err = ctl.Exec("SNAPSHOT")
 	mts := t.mlc
-	t.ssl = nil // everything committed so far is inside the snapshot
+	t.resetSSLLocked() // everything committed so far is inside the snapshot
 	t.mu.Unlock()
 	if err != nil {
 		return fail("step1.snapshot", err)
@@ -372,6 +400,14 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	const sampleEvery = 200 * time.Millisecond
 	var lowSince time.Time
 	var lastSample time.Time
+	// Flow control for the catch-up race: the controller paces the source
+	// when debt diverges, the watchdog bounds the attempt (deadline +
+	// stall), and the applied SSL prefix is released as every slave clears
+	// it so the capture buffer's memory follows the debt, not the total
+	// writes since the snapshot.
+	ctrl := flow.NewController(fcfg)
+	wd := flow.NewWatchdog(flow.Config{Deadline: opts.Deadline, StallWindow: opts.StallWindow}, rep.Start)
+	var lastDelay time.Duration
 	for {
 		if ferr := fault.Inject(faultStep3Propagate); ferr != nil {
 			return failProp(ferr)
@@ -388,26 +424,53 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 			t.setProgress("step3.propagate", primary)
 		}
 		debt := primary.Debt()
-		if time.Since(lastSample) >= sampleEvery {
-			lastSample = time.Now()
+		now := time.Now()
+		wd.Observe(primary.Applied(), debt, now)
+		if err := wd.Check(now); err != nil {
+			return failProp(err)
+		}
+		if over := t.sslOverflow(); over != "" {
+			return failProp(fmt.Errorf("core: %s cap breached with debt %d: %w", over, debt, flow.ErrSSLOverflow))
+		}
+		if now.Sub(lastSample) >= sampleEvery {
+			lastSample = now
+			// Release the SSL prefix every propagator has applied.
+			release := -1
+			for _, p := range props {
+				if a := p.Applied(); release < 0 || a < release {
+					release = a
+				}
+			}
+			if release > 0 {
+				t.releaseAppliedSSL(release)
+			}
+			if delay := ctrl.Tick(debt); delay != lastDelay {
+				lastDelay = delay
+				t.throttle.Set(delay)
+				obs.Trace.Emit(tenantName, "flow.pace",
+					obs.F("delay", delay), obs.F("debt", debt))
+			}
 			obs.Trace.Emit(tenantName, "step3.sample",
 				obs.F("lag", primary.Lag()), obs.F("debt", debt),
 				obs.F("ssl", t.sslLen()), obs.F("applied", primary.Stats().Syncsets))
 		}
 		if debt <= opts.CatchupLag {
 			if lowSince.IsZero() {
-				lowSince = time.Now()
-			} else if time.Since(lowSince) >= sustain {
+				lowSince = now
+			} else if now.Sub(lowSince) >= sustain {
 				break
 			}
 		} else {
 			lowSince = time.Time{}
 		}
-		if time.Now().After(deadline) {
+		if now.After(deadline) {
 			return failProp(ErrCatchupTimeout)
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
+	// The brake comes off before the final drain: Step 4 wants the last
+	// commits through as fast as possible.
+	t.throttle.Set(0)
 	rep.PropagateTime = time.Since(phase)
 	propSpan.End(obs.F("syncsets", props[slaves[0]].Stats().Syncsets))
 

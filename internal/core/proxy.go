@@ -7,6 +7,7 @@ import (
 
 	"madeus/internal/cluster"
 	"madeus/internal/engine"
+	"madeus/internal/flow"
 	"madeus/internal/sqlmini"
 	"madeus/internal/wire"
 )
@@ -42,6 +43,11 @@ type Options struct {
 	// Defaults to 4 attempts from 25ms exponential backoff capped at
 	// 500ms with 20% jitter; MaxAttempts < 0 disables retries.
 	Retry wire.RetryPolicy
+	// Flow is the backpressure/admission-control configuration (SSL caps,
+	// adaptive pacing, migration watchdog, session limits), validated by
+	// New. The zero value disables the whole layer; flow.DefaultConfig()
+	// is the calibrated production set. Runtime-tunable via FLOW SET.
+	Flow flow.Config
 }
 
 // Backend is a DBMS node as the middleware sees it: a name, per-database
@@ -66,6 +72,7 @@ var (
 // workers, and runs migrations.
 type Middleware struct {
 	opts Options
+	flow *flow.Governor
 
 	mu      sync.RWMutex
 	tenants map[string]*Tenant
@@ -99,8 +106,13 @@ func New(opts Options) (*Middleware, error) {
 			Jitter:      0.2,
 		}
 	}
+	gov, err := flow.NewGovernor(opts.Flow)
+	if err != nil {
+		return nil, err
+	}
 	m := &Middleware{
 		opts:    opts,
+		flow:    gov,
 		tenants: make(map[string]*Tenant),
 		nodes:   make(map[string]Backend),
 	}
@@ -150,9 +162,12 @@ func (m *Middleware) AddTenant(tenant, nodeName string) error {
 		return fmt.Errorf("core: node %q has no database %q: %w", nodeName, tenant, err)
 	}
 	probe.Close()
-	m.tenants[tenant] = NewTenant(tenant, node)
+	m.tenants[tenant] = NewTenant(tenant, node, m.flow)
 	return nil
 }
+
+// Flow exposes the live backpressure configuration (admin FLOW surface).
+func (m *Middleware) Flow() *flow.Governor { return m.flow }
 
 // ProvisionTenant creates the tenant database on the named node and
 // registers it.
@@ -198,15 +213,25 @@ func (m *Middleware) Connect(database string) (wire.Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unknown tenant %q", database)
 	}
-	return &worker{mw: m, tenant: t}, nil
+	// Admission control: past the per-tenant cap the session queues; past
+	// the queue (or the wait timeout) it is shed here with a typed
+	// overload error, which the wire server returns as a clean startup
+	// error — the client's Dial fails fast instead of the process
+	// accumulating goroutines it cannot serve.
+	release, err := t.limiter.Admit()
+	if err != nil {
+		return nil, err
+	}
+	return &worker{mw: m, tenant: t, release: release}, nil
 }
 
 // worker is the middleware-side session for one customer connection; it
 // implements Algorithms 1 and 2: relay every operation to the tenant's
 // master, and capture syncsets under the critical region.
 type worker struct {
-	mw     *Middleware
-	tenant *Tenant
+	mw      *Middleware
+	tenant  *Tenant
+	release func() // admission slot; called exactly once on Close
 
 	backend    *wire.Client
 	backendGen int
@@ -355,6 +380,12 @@ func (w *worker) execCommit(sql string) (*engine.Result, error) {
 		return res, err
 	}
 
+	// Pacing point: an update commit pays the migration controller's
+	// current delay BEFORE entering the critical region, so the brake
+	// slows the source's commit rate without ever holding t.mu — SI and
+	// the MLC/commit-order equivalence are untouched, commits just arrive
+	// at the region a little later.
+	t.throttle.Wait()
 	if err := w.ensureBackend(); err != nil {
 		t.mu.Lock()
 		t.resolveSSBLocked(b, false)
@@ -436,6 +467,7 @@ func (w *worker) execAutocommit(sql string, class sqlmini.OpClass) (*engine.Resu
 		return res, err
 
 	default: // autocommit write or DDL: a one-statement update transaction
+		t.throttle.Wait() // pacing point, same contract as execCommit's
 		t.txnStarted()
 		if err := w.ensureBackend(); err != nil {
 			t.txnEnded()
@@ -470,5 +502,9 @@ func (w *worker) Close() {
 	if w.backend != nil {
 		w.backend.Close()
 		w.backend = nil
+	}
+	if w.release != nil {
+		w.release()
+		w.release = nil
 	}
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector; throughput-calibrated overload scenarios skip themselves
+// because instrumented writers cannot generate the write pressure the
+// divergence assertions are calibrated against.
+const raceEnabled = true

@@ -46,3 +46,21 @@ func (b *SSB) Rest() []Entry {
 
 // OpCount is the number of captured operations plus the commit.
 func (b *SSB) OpCount() int { return len(b.Entries) + 1 }
+
+// Per-SSB memory accounting used by the flow layer's byte cap: the struct
+// itself plus slice headers, rounded up, and each entry's header plus its
+// SQL text. Deliberately a slight over-estimate — the cap protects the
+// process, so erring high is the safe side.
+const (
+	ssbOverhead   = 96
+	entryOverhead = 32
+)
+
+// MemSize estimates the SSB's resident footprint in bytes.
+func (b *SSB) MemSize() int64 {
+	n := int64(ssbOverhead)
+	for _, e := range b.Entries {
+		n += entryOverhead + int64(len(e.SQL))
+	}
+	return n
+}

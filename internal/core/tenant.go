@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"madeus/internal/flow"
 )
 
 // Tenant is the middleware's per-tenant state: the tenant's current master
@@ -30,7 +32,26 @@ type Tenant struct {
 
 	migrating  bool
 	captureAll bool
-	ssl        []*SSB // linked SSBs in link (commit) order
+	ssl        []*SSB // retained (linked, not yet released) SSBs in link order
+
+	// SSL accounting for the flow layer's caps and gauges. ssl holds only
+	// the retained window: once every propagator has applied a prefix, the
+	// manager releases it (releaseAppliedSSL) and sslBase advances, so
+	// absolute link index i lives at ssl[i-sslBase]. sslOps/sslBytes track
+	// the retained window's footprint; sslOver records the first cap
+	// breach ("" = none) for the manager to turn into a rollback — the
+	// link path itself never drops a syncset, since a partial SSL would
+	// break the LSIR's contiguous-ETS premise.
+	sslBase  int
+	sslOps   int
+	sslBytes int64
+	sslOver  string
+
+	// flow wiring: gov is the process-wide knob set, throttle the pacing
+	// brake Step 3's controller drives, limiter the session admission gate.
+	gov      *flow.Governor
+	throttle flow.Throttle
+	limiter  *flow.Limiter
 
 	// phase names the migration step in flight ("" when idle) and prop is
 	// the primary slave's propagator during Steps 3-4; both feed the
@@ -43,9 +64,15 @@ type Tenant struct {
 	capturedSSBs int
 }
 
-// NewTenant registers tenant state with its initial master node.
-func NewTenant(name string, node Backend) *Tenant {
-	t := &Tenant{Name: name, node: node, activeFirst: make(map[*SSB]struct{})}
+// NewTenant registers tenant state with its initial master node. gov may
+// be nil (tests building tenants directly): backpressure is then fully
+// disabled, matching a zero flow.Config.
+func NewTenant(name string, node Backend, gov *flow.Governor) *Tenant {
+	if gov == nil {
+		gov, _ = flow.NewGovernor(flow.Config{})
+	}
+	t := &Tenant{Name: name, node: node, activeFirst: make(map[*SSB]struct{}), gov: gov}
+	t.limiter = flow.NewLimiter(name, gov)
 	t.cond = sync.NewCond(&t.mu)
 	return t
 }
@@ -143,10 +170,85 @@ func (t *Tenant) resolveSSBLocked(b *SSB, link bool) {
 		t.ssl = append(t.ssl, b)
 		t.capturedSSBs++
 		t.capturedOps += b.OpCount()
+		t.sslOps += b.OpCount()
+		t.sslBytes += b.MemSize()
 		obsSSBLinked.Inc()
+		flow.AccountSSL(b.OpCount(), b.MemSize())
 		obsSSLDepth.Set(int64(len(t.ssl)))
+		if t.sslOver == "" {
+			t.checkSSLCapsLocked()
+		}
 	}
 	t.cond.Broadcast()
+}
+
+// checkSSLCapsLocked flags the first breach of a configured SSL cap. The
+// manager's Step-3 loop polls sslOverflow and aborts through the rollback
+// protocol; linking continues meanwhile so the SSL stays a contiguous
+// ETS prefix until the abort lands. Caller holds t.mu.
+func (t *Tenant) checkSSLCapsLocked() {
+	cfg := t.gov.Config()
+	switch {
+	case cfg.MaxSSLSyncsets > 0 && len(t.ssl) > cfg.MaxSSLSyncsets:
+		t.sslOver = "syncsets"
+	case cfg.MaxSSLOps > 0 && t.sslOps > cfg.MaxSSLOps:
+		t.sslOver = "ops"
+	case cfg.MaxSSLBytes > 0 && t.sslBytes > cfg.MaxSSLBytes:
+		t.sslOver = "bytes"
+	default:
+		return
+	}
+	flow.NoteOverflow()
+}
+
+// sslOverflow reports which SSL cap has been breached ("" = none).
+func (t *Tenant) sslOverflow() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sslOver
+}
+
+// resetSSLLocked empties the SSL and returns its accounting to the flow
+// gauges — the single path capture start/stop, discard, and rollback all
+// share, so ssl_depth and the byte/op gauges can never go stale at 0-debt
+// idle. Caller holds t.mu.
+func (t *Tenant) resetSSLLocked() {
+	flow.AccountSSL(-t.sslOps, -t.sslBytes)
+	t.ssl = nil
+	t.sslBase = 0
+	t.sslOps = 0
+	t.sslBytes = 0
+	t.sslOver = ""
+	obsSSLDepth.Set(0)
+}
+
+// releaseAppliedSSL frees the SSL prefix below absolute link index upto:
+// every propagator has applied it, so nothing will read it again. The
+// retained window shifts into a fresh slice (letting the GC take the
+// replayed SSBs) and the accounting follows, which is what keeps SSL
+// memory bounded while pacing holds debt near the target.
+func (t *Tenant) releaseAppliedSSL(upto int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if upto <= t.sslBase || !t.migrating {
+		return
+	}
+	n := upto - t.sslBase
+	if n > len(t.ssl) {
+		n = len(t.ssl)
+	}
+	var ops int
+	var bytes int64
+	for _, b := range t.ssl[:n] {
+		ops += b.OpCount()
+		bytes += b.MemSize()
+	}
+	t.ssl = append([]*SSB(nil), t.ssl[n:]...)
+	t.sslBase += n
+	t.sslOps -= ops
+	t.sslBytes -= bytes
+	flow.AccountSSL(-ops, -bytes)
+	obsSSLDepth.Set(int64(len(t.ssl)))
 }
 
 // commitBound returns the exclusive upper bound on ETS values whose commits
@@ -169,18 +271,19 @@ func (t *Tenant) startCapture(all bool) {
 	t.mu.Lock()
 	t.migrating = true
 	t.captureAll = all
-	t.ssl = nil
+	t.resetSSLLocked()
 	t.capturedOps = 0
 	t.capturedSSBs = 0
 	t.mu.Unlock()
 }
 
-// stopCapture stops linking and clears the SSL.
+// stopCapture stops linking and clears the SSL (returning its accounting,
+// so the depth/op/byte gauges read 0 after both switch-over and rollback).
 func (t *Tenant) stopCapture() {
 	t.mu.Lock()
 	t.migrating = false
 	t.captureAll = false
-	t.ssl = nil
+	t.resetSSLLocked()
 	t.cond.Broadcast()
 	t.mu.Unlock()
 }
@@ -247,6 +350,8 @@ type TenantMonitor struct {
 	Lag          int
 	Debt         int
 	SSLDepth     int
+	SSLBytes     int64
+	PaceDelay    time.Duration
 	ActiveTxns   int
 	CapturedSSBs int
 	CapturedOps  int
@@ -259,21 +364,28 @@ func (t *Tenant) Monitor() TenantMonitor {
 		Node:         t.node.BackendName(),
 		MLC:          t.mlc,
 		SSLDepth:     len(t.ssl),
+		SSLBytes:     t.sslBytes,
 		ActiveTxns:   t.activeTxns,
 		CapturedSSBs: t.capturedSSBs,
 		CapturedOps:  t.capturedOps,
 	}
 	t.mu.Unlock()
+	m.PaceDelay = t.throttle.Delay()
 	m.Phase, m.Lag, m.Debt = t.Progress()
 	return m
 }
 
-// SSLLen reports the current syncset-list length (monitoring).
-func (t *Tenant) SSLLen() int { return t.sslLen() }
-
-// sslLen reports the current SSL length (monitoring).
-func (t *Tenant) sslLen() int {
+// SSLLen reports the retained syncset-list length (monitoring).
+func (t *Tenant) SSLLen() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.ssl)
+}
+
+// sslLen reports the TOTAL linked syncsets this capture, released or not —
+// the absolute index space propagator cursors and applied counts live in.
+func (t *Tenant) sslLen() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sslBase + len(t.ssl)
 }

@@ -1,0 +1,135 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"madeus/internal/fault"
+)
+
+// faultAdmit sits on the admission decision so the chaos suite can force
+// sheds or delay grants deterministically.
+const faultAdmit = "flow.admit"
+
+// noRelease is the shared no-op returned on the unlimited fast path, so
+// an uncapped Admit allocates nothing.
+var noRelease = func() {}
+
+// Limiter is per-tenant session admission control: a slot cap, a bounded
+// FIFO wait queue, and typed shedding. With MaxSessions 0 (the zero
+// value), Admit is one atomic config load and a shared no-op func —
+// seed-equivalent cost.
+//
+// The proxy calls Admit when a customer session binds to the tenant and
+// the returned release exactly once when the session closes. Queued
+// waiters receive slots in arrival order via direct handoff, so a burst
+// drains fairly; arrivals past cap+queue (or that outwait AdmitTimeout)
+// are shed with an OverloadError, which the wire server delivers as a
+// clean startup error — degradation the client can retry, not a hang.
+type Limiter struct {
+	tenant string
+	gov    *Governor
+
+	mu      sync.Mutex
+	inUse   int
+	waiters []chan struct{} // FIFO; closed channel = slot granted
+}
+
+// NewLimiter builds the admission gate for one tenant.
+func NewLimiter(tenant string, gov *Governor) *Limiter {
+	return &Limiter{tenant: tenant, gov: gov}
+}
+
+// Admit claims a session slot, waiting in the queue if the tenant is at
+// its cap. On success the returned func releases the slot (idempotence is
+// the caller's job). On overload it returns a typed *OverloadError.
+func (l *Limiter) Admit() (release func(), err error) {
+	cfg := l.gov.cfg.Load()
+	if cfg.MaxSessions == 0 {
+		return noRelease, nil
+	}
+	if err := fault.Inject(faultAdmit); err != nil {
+		obsSheds.Inc()
+		return nil, err
+	}
+	l.mu.Lock()
+	if l.inUse < cfg.MaxSessions {
+		l.inUse++
+		l.mu.Unlock()
+		obsSessions.Inc()
+		return l.release, nil
+	}
+	if len(l.waiters) >= cfg.AdmitQueue {
+		l.mu.Unlock()
+		obsSheds.Inc()
+		return nil, &OverloadError{Tenant: l.tenant, Reason: ReasonQueueFull}
+	}
+	grant := make(chan struct{})
+	l.waiters = append(l.waiters, grant)
+	l.mu.Unlock()
+	obsAdmitQueue.Inc()
+
+	timeout := cfg.AdmitTimeout
+	if timeout <= 0 {
+		timeout = DefaultAdmitTimeout
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-grant:
+		obsAdmitQueue.Dec()
+		obsSessions.Inc()
+		return l.release, nil
+	case <-timer.C:
+	}
+	// Timed out — but the grant may have raced the timer. Remove ourselves
+	// under the lock; if we are already gone, a releaser handed us the
+	// slot and we keep it.
+	l.mu.Lock()
+	for i, w := range l.waiters {
+		if w == grant {
+			l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+			l.mu.Unlock()
+			obsAdmitQueue.Dec()
+			obsSheds.Inc()
+			return nil, &OverloadError{Tenant: l.tenant, Reason: ReasonAdmitTimeout}
+		}
+	}
+	l.mu.Unlock()
+	obsAdmitQueue.Dec()
+	obsSessions.Inc()
+	return l.release, nil
+}
+
+// release returns a slot, handing it to the oldest waiter if any. The
+// session count transfers with the slot, so obsSessions only moves when
+// no waiter takes over (the waiter's Admit increments it on grant).
+func (l *Limiter) release() {
+	l.mu.Lock()
+	if len(l.waiters) > 0 {
+		grant := l.waiters[0]
+		l.waiters = l.waiters[1:]
+		l.mu.Unlock()
+		obsSessions.Dec()
+		close(grant)
+		return
+	}
+	l.inUse--
+	l.mu.Unlock()
+	obsSessions.Dec()
+}
+
+// InUse reports the currently held slots (admitted sessions), for the
+// admin FLOW listing and tests.
+func (l *Limiter) InUse() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// Waiting reports the queued sessions.
+func (l *Limiter) Waiting() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.waiters)
+}

@@ -1,0 +1,65 @@
+package flow
+
+import "time"
+
+// Watchdog aborts migrations that can no longer succeed: a whole-migration
+// deadline, and a stall detector that fires when the slave makes no replay
+// progress for a full window. Either verdict routes through the manager's
+// rollback protocol (PR 3) — the alternative on seed code is Migrate
+// hanging until its catch-up timeout while op-timeouts storm the logs.
+//
+// The manager drives it single-threaded from the Step-3 sampling loop:
+// Observe with each progress sample, then Check.
+type Watchdog struct {
+	cfg         Config
+	start       time.Time
+	lastGain    time.Time
+	lastApplied int
+	bestDebt    int
+	primed      bool
+}
+
+// NewWatchdog starts the clocks for one migration attempt.
+func NewWatchdog(cfg Config, start time.Time) *Watchdog {
+	return &Watchdog{cfg: cfg, start: start, lastGain: start}
+}
+
+// Observe feeds one progress sample: the primary slave's applied-syncset
+// count and current debt. Progress means the slave applied something new
+// or debt reached a new low — either resets the stall clock. Debt merely
+// holding steady does not: a wedged slave with a paced (or idle) source
+// holds debt flat forever, and that is exactly the hang the stall detector
+// exists to break.
+func (w *Watchdog) Observe(applied int, debt int, now time.Time) {
+	if !w.primed {
+		w.primed = true
+		w.bestDebt = debt
+		w.lastApplied = applied
+		w.lastGain = now
+		return
+	}
+	if applied > w.lastApplied || debt < w.bestDebt {
+		w.lastGain = now
+	}
+	if applied > w.lastApplied {
+		w.lastApplied = applied
+	}
+	if debt < w.bestDebt {
+		w.bestDebt = debt
+	}
+}
+
+// Check returns ErrDeadline or ErrStalled when a limit has been crossed,
+// nil otherwise. Counters fire on the first detection only; the manager
+// aborts on the first non-nil verdict so Check is effectively one-shot.
+func (w *Watchdog) Check(now time.Time) error {
+	if w.cfg.Deadline > 0 && now.Sub(w.start) >= w.cfg.Deadline {
+		obsDeadlineAborts.Inc()
+		return ErrDeadline
+	}
+	if w.cfg.StallWindow > 0 && w.primed && now.Sub(w.lastGain) >= w.cfg.StallWindow {
+		obsStalls.Inc()
+		return ErrStalled
+	}
+	return nil
+}

@@ -29,3 +29,15 @@ go build -tags faultinject ./...
 go test -tags faultinject -race -count=1 ./internal/fault/ ./internal/core/ ./internal/wire/
 go test -count=1 -run 'TestFaultDisabledOverhead' .
 go test -tags faultinject -count=1 -run 'TestFaultDisabledOverhead' .
+
+# Backpressure gate: race-check the flow package and the overload/convergence
+# suite (admission shedding, SSL caps, watchdog aborts, paced convergence),
+# run the admission/stall chaos scenarios under faultinject, and assert that
+# an idle pace point and an uncapped Admit cost nothing on the commit path.
+go test -race -count=1 ./internal/flow/
+go test -race -count=1 -run 'TestFlow|TestAdmission|TestSSL|TestUnpaced' ./internal/core/
+# The divergence/convergence scenario needs uninstrumented writer throughput
+# (it skips itself under -race), so it gets a dedicated no-race run.
+go test -count=1 -run 'TestHeavyWriteMigrationConvergesWithPacing' ./internal/core/
+go test -tags faultinject -race -count=1 -run 'TestChaosAdmission|TestChaosInjected|TestChaosHungSlave' ./internal/core/
+go test -count=1 -run 'TestFlowDisabledOverhead' .
