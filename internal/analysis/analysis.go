@@ -86,6 +86,7 @@ func All() []*Analyzer {
 		GoroLeak,
 		ErrDrop,
 		InvariantCall,
+		TimerChurn,
 	}
 }
 

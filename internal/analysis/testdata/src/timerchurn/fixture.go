@@ -1,0 +1,127 @@
+// Package timerchurn exercises the timerchurn analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none.
+package timerchurn
+
+import (
+	"context"
+	"time"
+)
+
+func work() {}
+
+// afterInFor is the classic churn: a fresh timer every iteration.
+func afterInFor(ctx context.Context) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(50 * time.Millisecond): // want
+		}
+		work()
+	}
+}
+
+// afterInRange churns once per element.
+func afterInRange(items []int, stop chan struct{}) {
+	for range items {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second): // want
+		}
+	}
+}
+
+// afterInNestedBlock is still inside the loop even under an if.
+func afterInNestedBlock(busy bool) {
+	for i := 0; i < 10; i++ {
+		if busy {
+			<-time.After(time.Millisecond) // want
+		}
+	}
+}
+
+// reusedTimer is the sanctioned shape: one timer, Reset per iteration.
+func reusedTimer(ctx context.Context) {
+	t := time.NewTimer(50 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			t.Reset(50 * time.Millisecond)
+		}
+		work()
+	}
+}
+
+// tickerLoop is also fine.
+func tickerLoop(ctx context.Context) {
+	tk := time.NewTicker(time.Second)
+	defer tk.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tk.C:
+		}
+	}
+}
+
+// afterOutsideLoop fires once; no churn.
+func afterOutsideLoop() {
+	<-time.After(time.Millisecond)
+	for i := 0; i < 3; i++ {
+		work()
+	}
+}
+
+// afterInFuncLitInLoop is attributed to the literal, not the loop: the
+// literal runs elsewhere (or never), so the loop itself does not churn.
+func afterInFuncLitInLoop() {
+	var fns []func()
+	for i := 0; i < 3; i++ {
+		fns = append(fns, func() {
+			<-time.After(time.Millisecond)
+		})
+	}
+	_ = fns
+}
+
+// innerLoopFlaggedOnce: the call sits in the inner loop; the outer visit
+// must skip it so it is reported exactly once.
+func innerLoopFlaggedOnce(stop chan struct{}) {
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(time.Millisecond): // want
+			}
+		}
+	}
+}
+
+// ignored documents a deliberate one-shot wait in a rarely-run loop.
+func ignored(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		//madeusvet:ignore timerchurn fixture: cold path, runs once a day
+		case <-time.After(24 * time.Hour):
+		}
+	}
+}
+
+// notTimePackage: a local type named time-ish must not match.
+type fakeClock struct{}
+
+func (fakeClock) After(d int) chan struct{} { return nil }
+
+func notTimePackage(clock fakeClock) {
+	for i := 0; i < 3; i++ {
+		_ = clock.After(1)
+	}
+}

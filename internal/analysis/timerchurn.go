@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TimerChurn flags time.After calls inside for/range loops (outside
+// tests). Each time.After allocates a timer that is only reclaimed when it
+// fires — in a hot loop with early select exits (ctx.Done, stop channels)
+// the expired-timer backlog grows with iteration count, and under Go's
+// pre-1.23 semantics pins memory for the full duration each iteration.
+// The fix is one reused time.Timer (NewTimer + Stop/Reset), or a
+// time.Ticker for fixed periods; see internal/tpcw/eb.go's think pause.
+//
+// Calls inside a nested func literal are attributed to that literal, not
+// the enclosing loop: the literal may run once, elsewhere, or never.
+var TimerChurn = &Analyzer{
+	Name: "timerchurn",
+	Doc:  "time.After in a loop allocates a timer per iteration; reuse a time.Timer",
+	Run:  runTimerChurn,
+}
+
+func runTimerChurn(pass *Pass) {
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			reportTimeAfter(pass, body)
+			return true
+		})
+	}
+}
+
+// reportTimeAfter flags every time.After call directly inside body,
+// descending into nested blocks but not into func literals or nested
+// loops (inner loops are visited as loops in their own right, so a call
+// there is flagged exactly once).
+func reportTimeAfter(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "After" {
+				return true
+			}
+			pkg, ok := sel.X.(*ast.Ident)
+			if !ok || !isTimePkg(pass, pkg) {
+				return true
+			}
+			pass.Reportf(n.Pos(), "time.After inside a loop allocates a timer per iteration; hoist a time.Timer and Reset it")
+		}
+		return true
+	})
+}
+
+// isTimePkg reports whether ident names the time package (by import
+// resolution when type info is present, by name otherwise).
+func isTimePkg(pass *Pass, ident *ast.Ident) bool {
+	if pass.Info != nil {
+		if obj, ok := pass.Info.Uses[ident]; ok {
+			if pn, ok := obj.(*types.PkgName); ok {
+				return pn.Imported().Path() == "time"
+			}
+			return false
+		}
+	}
+	return ident.Name == "time"
+}

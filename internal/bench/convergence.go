@@ -158,11 +158,16 @@ func convergenceRun(mw *core.Middleware, tn *core.Tenant, tenant string,
 	var res convergenceResult
 	go func() {
 		defer close(done)
+		// One reusable ticker-style timer; time.After here would allocate
+		// a fresh timer per 50ms sample for the whole migration.
+		tick := time.NewTimer(50 * time.Millisecond)
+		defer tick.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-time.After(50 * time.Millisecond):
+			case <-tick.C:
+				tick.Reset(50 * time.Millisecond)
 			}
 			mon := tn.Monitor()
 			if mon.Debt > res.peakDebt {

@@ -82,6 +82,14 @@ func Experiments() []Experiment {
 			t.Fprint(w)
 			return nil
 		}},
+		{"step1", "snapshot transfer ablation: monolithic vs pipelined chunk sweep (extra, not a paper figure)", func(cfg Config, w io.Writer) error {
+			t, err := Step1(cfg)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
 		{"ablation-overhead", "middleware worker overhead in normal processing", func(cfg Config, w io.Writer) error {
 			t, err := AblationMiddlewareOverhead(cfg)
 			if err != nil {

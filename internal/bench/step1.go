@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"madeus/internal/cluster"
+	"madeus/internal/core"
+	"madeus/internal/flow"
+	"madeus/internal/metrics"
+	"madeus/internal/tpcw"
+	"madeus/internal/wire"
+)
+
+// step1TransferCap bounds resident transfer memory for the pipelined legs
+// of the ablation; the monolithic leg has no such bound (the whole dump is
+// one wire response) — that contrast is the experiment's memory column.
+const step1TransferCap = 256 << 10
+
+// Step1 is the snapshot-transfer ablation (not a paper figure): the same
+// tenant migrated under a light workload once with the monolithic Step 1
+// (one DUMP response, restore starts after the last row) and then with the
+// pipelined chunk stream at several chunk sizes. Columns: total migration
+// time, Step-1 dump time, Step-2 restore time, the Step-4 suspension
+// window (must not regress), chunks streamed, and peak resident transfer
+// bytes (capped by the flow budget in pipelined mode). The tenant bounces
+// between the two nodes so every leg migrates the same data.
+func Step1(cfg Config) (*Table, error) {
+	fcfg := flow.Config{MaxTransferBytes: step1TransferCap}
+	mw, err := core.New(core.Options{
+		Players:        cfg.Players,
+		CatchupTimeout: cfg.CatchupTimeout,
+		Flow:           fcfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer mw.Close()
+	// The calibrated node profile (simulated HDD fsync, per-statement CPU
+	// cost) is what makes the transfer shape matter: the monolithic
+	// restore pays one WAL commit per statement, the pipelined one per
+	// chunk. Small INSERT batches make the dump a real stream instead of
+	// a handful of giant statements.
+	engOpts := cfg.engineOptions()
+	engOpts.DumpBatch = 20
+	for i := 0; i < 2; i++ {
+		n, err := cluster.NewNode(fmt.Sprintf("node%d", i), cluster.NodeOptions{Engine: engOpts})
+		if err != nil {
+			return nil, err
+		}
+		defer n.Close()
+		mw.AddNode(n)
+	}
+
+	const tenant = "shop"
+	// A large tenant is the point of the ablation: scale the paper's
+	// smallest population down less aggressively than the default figures.
+	scale := tpcw.ScaleFor(100000, 100, cfg.RowFactor)
+	if err := mw.ProvisionTenant(tenant, "node0"); err != nil {
+		return nil, err
+	}
+	{
+		c, err := wire.Dial(mw.Addr(), tenant)
+		if err != nil {
+			return nil, err
+		}
+		if err := tpcw.Load(c, scale); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Close()
+	}
+
+	// A light browsing fleet keeps the source busy so the suspension
+	// window is measured under load, not on an idle system.
+	ctx, cancel := context.WithCancel(context.Background())
+	fleetErr := make(chan error, 1)
+	go func() {
+		fleetErr <- tpcw.RunFleet(ctx, 2, tpcw.Browsing, scale, cfg.Think,
+			func() (tpcw.Execer, error) { return wire.Dial(mw.Addr(), tenant) },
+			metrics.NewRecorder())
+	}()
+	defer func() {
+		cancel()
+		<-fleetErr
+	}()
+	time.Sleep(100 * time.Millisecond) // ramp up
+
+	t := &Table{
+		Title: "step1: snapshot transfer, monolithic vs pipelined chunk sweep",
+		Header: []string{"transfer", "total", "dump", "restore", "suspension",
+			"chunks", "peak bytes"},
+	}
+	legs := []struct {
+		label string
+		opts  core.MigrateOptions
+	}{
+		{"monolithic", core.MigrateOptions{Strategy: core.Madeus, MonolithicDump: true}},
+		{"pipelined/16", core.MigrateOptions{Strategy: core.Madeus, ChunkStatements: 16}},
+		{"pipelined/64", core.MigrateOptions{Strategy: core.Madeus, ChunkStatements: 64}},
+		{"pipelined/256", core.MigrateOptions{Strategy: core.Madeus, ChunkStatements: 256}},
+	}
+	nodes := [2]string{"node0", "node1"}
+	for i, leg := range legs {
+		dest := nodes[(i+1)%2]
+		start := time.Now()
+		rep, err := mw.Migrate(tenant, dest, leg.opts)
+		if err != nil {
+			return nil, fmt.Errorf("bench: step1 %s leg: %w", leg.label, err)
+		}
+		total := time.Since(start)
+		peak := "unbounded"
+		if rep.PeakTransferBytes > 0 {
+			peak = fmt.Sprintf("%.1f KiB", float64(rep.PeakTransferBytes)/(1<<10))
+		}
+		t.AddRow(leg.label,
+			total.Round(time.Millisecond).String(),
+			rep.SnapshotTime.Round(time.Millisecond).String(),
+			rep.RestoreTime.Round(time.Millisecond).String(),
+			rep.SuspensionWindow.Round(100*time.Microsecond).String(),
+			fmt.Sprint(rep.Chunks),
+			peak)
+	}
+	return t, nil
+}

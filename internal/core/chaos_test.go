@@ -24,6 +24,9 @@ type chaosCase struct {
 	nodes   int      // rig size; default 2 (node0 = source, node1 = dest)
 	backups []string // extra destinations for MigrateOptions.Backups
 	arm     func()   // installs the failpoints just before Migrate
+	// tweak adjusts the MigrateOptions (e.g. a small ChunkStatements so a
+	// mid-stream failpoint has a stream to land in).
+	tweak func(*MigrateOptions)
 	// during runs concurrently with Migrate (crash injection, hang
 	// release); runChaos joins it before asserting.
 	during func(t *testing.T, rig *testRig, tn *Tenant)
@@ -59,6 +62,49 @@ func chaosScenarios() []chaosCase {
 			backups:      []string{"node2"},
 			arm:          func() { fault.Enable(faultStep2Restore, fault.Policy{Times: 1}) },
 			minDiscarded: 1,
+		},
+		{
+			name: "chunk_stream_drop_mid_transfer",
+			// The dump stream's connection drops after two chunks made it
+			// across: the client poisons the session, Step 1 fails, and
+			// the whole migration rolls back with the source untouched.
+			tweak: func(o *MigrateOptions) { o.ChunkStatements = 1 },
+			arm: func() {
+				fault.Enable(faultStep1Chunk, fault.Policy{Drop: true, Skip: 2})
+			},
+			wantStep:   "step1.snapshot",
+			wantReason: "injected",
+		},
+		{
+			name: "chunk_restore_error_no_survivor",
+			// A restore applier fails on the third chunk; the only slave
+			// is discarded and the migration rolls back at Step 2.
+			tweak: func(o *MigrateOptions) { o.ChunkStatements = 1 },
+			arm: func() {
+				fault.Enable(faultStep1Restore, fault.Policy{Times: 1, Skip: 2})
+			},
+			wantStep:   "step2.restore",
+			wantReason: "injected",
+		},
+		{
+			name:    "chunk_restore_error_backup_survives",
+			nodes:   3,
+			backups: []string{"node2"},
+			tweak:   func(o *MigrateOptions) { o.ChunkStatements = 1 },
+			arm: func() {
+				fault.Enable(faultStep1Restore, fault.Policy{Times: 1, Skip: 2})
+			},
+			minDiscarded: 1,
+		},
+		{
+			name: "chunk_apply_slow_slave",
+			// Every chunk apply is delayed: the bounded queues and the
+			// transfer budget backpressure the dump, but the migration
+			// still completes.
+			tweak: func(o *MigrateOptions) { o.ChunkStatements = 1 },
+			arm: func() {
+				fault.Enable(faultStep1Restore, fault.Policy{Delay: 2 * time.Millisecond, Times: 50})
+			},
 		},
 		{
 			name:       "propagation_error",
@@ -180,7 +226,11 @@ func runChaos(t *testing.T, tc chaosCase) {
 		}()
 	}
 
-	rep, err := rig.mw.Migrate("a", "node1", MigrateOptions{Strategy: Madeus, Backups: tc.backups})
+	opts := MigrateOptions{Strategy: Madeus, Backups: tc.backups}
+	if tc.tweak != nil {
+		tc.tweak(&opts)
+	}
+	rep, err := rig.mw.Migrate("a", "node1", opts)
 	if duringDone != nil {
 		<-duringDone
 	}

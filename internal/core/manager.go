@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"madeus/internal/fault"
@@ -77,6 +78,17 @@ type MigrateOptions struct {
 	// even when the middleware's flow.Config enables it (used by tests and
 	// benchrunner to measure the unpaced divergence).
 	DisablePacing bool
+	// ChunkStatements is the statements-per-chunk of the pipelined Step-1
+	// snapshot stream. Defaults to 64.
+	ChunkStatements int
+	// RestoreAppliers is how many parallel appliers each slave runs while
+	// restoring the chunk stream. Defaults to 4.
+	RestoreAppliers int
+	// MonolithicDump reverts Step 1 to the pre-pipelining behavior — the
+	// whole dump materialized as one wire response, restored only after
+	// the last row arrived. Kept for the benchrunner `step1` ablation and
+	// as an escape hatch.
+	MonolithicDump bool
 }
 
 // Report describes a completed (or failed) migration.
@@ -103,6 +115,13 @@ type Report struct {
 	// transactions were gated (suspend → drain → switch → resume): the
 	// paper's service-suspension metric, Fig 7's terminal dip.
 	SuspensionWindow time.Duration
+
+	// Chunks and PeakTransferBytes describe the pipelined Step-1 stream:
+	// how many chunks the snapshot shipped in and the high-water mark of
+	// resident transfer memory (bounded by flow.Config.MaxTransferBytes).
+	// Zero on monolithic-dump migrations.
+	Chunks            int
+	PeakTransferBytes int64
 
 	Propagation PropagationStats
 
@@ -183,6 +202,12 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	}
 	if opts.Retry.MaxAttempts == 0 {
 		opts.Retry = m.opts.Retry
+	}
+	if opts.ChunkStatements <= 0 {
+		opts.ChunkStatements = defaultChunkStatements
+	}
+	if opts.RestoreAppliers <= 0 {
+		opts.RestoreAppliers = defaultRestoreAppliers
 	}
 	// Flow-layer knobs: one config snapshot governs the whole attempt, so
 	// a concurrent FLOW SET cannot change the rules mid-migration.
@@ -291,50 +316,80 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	if ferr := fault.Inject(faultStep1Dump); ferr != nil {
 		return fail("step1.snapshot", ferr)
 	}
-	dump, err := ctl.Exec("DUMP")
-	if err != nil {
-		return fail("step1.snapshot", err)
-	}
-	if _, err := ctl.Exec("COMMIT"); err != nil {
-		return fail("step1.snapshot", err)
-	}
-	rep.SnapshotTime = time.Since(phase)
-	dumpSpan.End(obs.F("rows", len(dump.Rows)))
 
-	// --- Step 2: create the slaves (in parallel when backups exist) ---
-	t.setProgress("step2.restore", nil)
-	phase = time.Now()
-	restoreSpan := obs.Trace.Start(tenantName, "step2.restore")
-	type restoreResult struct {
-		sl  Backend
-		err error
-	}
-	restoreErrs := make(chan restoreResult, len(slaves))
-	for _, sl := range slaves {
-		go func(sl Backend) {
-			restoreErrs <- restoreResult{sl, restoreSlave(sl, tenantName, dump.Rows, opts)}
-		}(sl)
-	}
-	var restoreErr error
-	restoreFailed := make(map[Backend]bool)
-	for range slaves {
-		if r := <-restoreErrs; r.err != nil {
-			restoreErr = r.err
-			restoreFailed[r.sl] = true
+	// restoreFailed collects per-slave restore errors from whichever path
+	// ran; the Sec 4.2 discard rule below applies to both.
+	restoreFailed := make(map[Backend]error)
+	if opts.MonolithicDump {
+		// Pre-pipelining path (the `step1` ablation's baseline): the whole
+		// dump materializes as one wire response, and restores begin only
+		// after the last row arrived.
+		dump, err := ctl.Exec("DUMP")
+		if err != nil {
+			return fail("step1.snapshot", err)
 		}
+		if _, err := ctl.Exec("COMMIT"); err != nil {
+			return fail("step1.snapshot", err)
+		}
+		rep.SnapshotTime = time.Since(phase)
+		dumpSpan.End(obs.F("rows", len(dump.Rows)))
+
+		// --- Step 2: create the slaves (in parallel when backups exist) ---
+		t.setProgress("step2.restore", nil)
+		phase = time.Now()
+		restoreSpan := obs.Trace.Start(tenantName, "step2.restore")
+		type restoreResult struct {
+			sl  Backend
+			err error
+		}
+		restoreErrs := make(chan restoreResult, len(slaves))
+		for _, sl := range slaves {
+			go func(sl Backend) {
+				restoreErrs <- restoreResult{sl, restoreSlave(sl, tenantName, dump.Rows, opts)}
+			}(sl)
+		}
+		for range slaves {
+			if r := <-restoreErrs; r.err != nil {
+				restoreFailed[r.sl] = r.err
+			}
+		}
+		rep.RestoreTime = time.Since(phase)
+		restoreSpan.End(obs.F("slaves", len(slaves)-len(restoreFailed)))
+	} else {
+		// Pipelined path: dump, transfer, and restore overlap in a
+		// three-stage pipeline; resident transfer memory is capped by the
+		// flow layer's budget (see step1.go).
+		t.setProgress("step2.restore", nil)
+		restoreSpan := obs.Trace.Start(tenantName, "step2.restore")
+		budget := flow.NewTransferBudget(fcfg.MaxTransferBytes)
+		pr := pipelineSnapshot(ctl, tenantName, slaves, opts, budget)
+		rep.SnapshotTime = pr.dumpTime
+		rep.RestoreTime = time.Since(phase)
+		rep.Chunks = pr.chunks
+		rep.PeakTransferBytes = pr.peakBytes
+		dumpSpan.End(obs.F("chunks", pr.chunks), obs.F("stmts", pr.stmts),
+			obs.F("peakBytes", pr.peakBytes))
+		if pr.streamErr != nil {
+			restoreSpan.End(obs.F("err", pr.streamErr))
+			return fail("step1.snapshot", pr.streamErr)
+		}
+		restoreFailed = pr.slaveErr
+		restoreSpan.End(obs.F("slaves", len(slaves)-len(restoreFailed)))
 	}
 	if len(restoreFailed) > 0 {
 		// A failed restore discards that slave; survivors carry the
 		// migration (the paper's Sec 4.2 discard rule applied to
 		// Step 2). Only when no slave survived does the whole
 		// migration roll back.
+		var restoreErr error
 		live := slaves[:0]
 		for _, sl := range slaves {
-			if restoreFailed[sl] {
+			if err, failed := restoreFailed[sl]; failed {
+				restoreErr = err
 				dropDatabase(sl, tenantName)
 				rep.Discarded = append(rep.Discarded, sl.BackendName())
 				obs.Trace.Emit(tenantName, "step2.slave.discarded",
-					obs.F("slave", sl.BackendName()), obs.F("err", restoreErr))
+					obs.F("slave", sl.BackendName()), obs.F("err", err))
 				continue
 			}
 			live = append(live, sl)
@@ -344,8 +399,6 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 			return fail("step2.restore", restoreErr)
 		}
 	}
-	rep.RestoreTime = time.Since(phase)
-	restoreSpan.End(obs.F("slaves", len(slaves)))
 
 	// --- Step 3: propagate syncsets (one propagator per slave) ---
 	phase = time.Now()
@@ -601,10 +654,14 @@ func connectRetry(node Backend, tenant, site string, opts MigrateOptions) (*wire
 	if attempts <= 0 {
 		attempts = 1
 	}
+	var rng *rand.Rand // lazily seeded: most dials succeed on attempt 0
 	var lastErr error
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			sleep(p.Backoff(attempt))
+			if rng == nil {
+				rng = p.JitterRNG()
+			}
+			sleep(p.Backoff(attempt, rng))
 			obsMigRetries.Inc()
 		}
 		if site != "" {

@@ -16,6 +16,12 @@ var (
 	obsSSBLinked = obs.NewCounter("core.ssl.linked", "syncsets linked to an SSL")
 	obsSSLDepth  = obs.NewGauge("core.ssl.depth", "linked syncsets of the most recently updated migrating tenant")
 
+	// Pipelined Step-1 snapshot transfer (dump → transfer → restore).
+	obsChunks       = obs.NewCounter("core.step1.chunks", "snapshot chunks streamed from sources")
+	obsChunkBytes   = obs.NewHistogram("core.step1.chunk.bytes", "accounted bytes per snapshot chunk", obs.SizeBuckets())
+	obsChunkStall   = obs.NewHistogram("core.step1.stall", "dump-stage stall per chunk (transfer budget + slave queues)", obs.DurationBuckets())
+	obsApplyLatency = obs.NewHistogram("core.step1.apply", "restore apply latency per chunk", obs.DurationBuckets())
+
 	// Propagation (Step 3 destination side).
 	obsPlayersActive   = obs.NewGauge("core.players.active", "propagation players in flight")
 	obsGroupSize       = obs.NewHistogram("core.commit_group.size", "commit group sizes released to slaves", obs.SizeBuckets())

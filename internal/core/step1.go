@@ -1,0 +1,381 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"madeus/internal/fault"
+	"madeus/internal/flow"
+	"madeus/internal/invariant"
+	"madeus/internal/wire"
+)
+
+// Pipelined Step-1 failpoint sites (armed only under -tags faultinject).
+// faultStep1Chunk fires in the transfer stage once per chunk (a conn-drop
+// policy kills the stream mid-flight and exercises the rollback protocol);
+// faultStep1Restore fires in a restore applier once per chunk.
+const (
+	faultStep1Chunk   = "core.step1.chunk"
+	faultStep1Restore = "core.step1.restore"
+)
+
+// Pipeline defaults (MigrateOptions overrides).
+const (
+	defaultChunkStatements = 64 // statements per dump chunk
+	defaultRestoreAppliers = 4  // parallel appliers per slave
+	restoreQueueChunks     = 2  // per-slave bounded channel depth
+	// chunkStmtOverhead approximates the per-statement bookkeeping cost
+	// added to the SQL text when charging a chunk against the transfer
+	// budget (string header, slice slot, frame header amortized).
+	chunkStmtOverhead = 32
+)
+
+// errAllSlavesDead aborts the producer once every slave's restore failed.
+// It is not a source-side failure: pipelineSnapshot strips it from
+// streamErr so Migrate attributes the rollback to Step 2 (the slave
+// errors), exactly like the monolithic path would.
+var errAllSlavesDead = errors.New("core: every slave failed during restore")
+
+// step1Chunk is one bounded batch of dump statements in flight between the
+// source stream and the restore appliers. refs counts the slaves that still
+// hold it; the last one out returns its bytes to the transfer budget.
+type step1Chunk struct {
+	seq    int
+	stmts  []string
+	bytes  int64
+	ddl    bool // contains a non-INSERT statement: applied as a serial barrier
+	refs   atomic.Int32
+	budget *flow.TransferBudget
+}
+
+// release drops one slave's claim; the last claim returns the bytes.
+func (c *step1Chunk) release() {
+	if c.refs.Add(-1) == 0 {
+		c.budget.Release(c.bytes)
+	}
+}
+
+// pipelineResult is what pipelineSnapshot hands back to Migrate.
+type pipelineResult struct {
+	chunks    int   // chunks streamed from the source
+	stmts     int   // statements streamed
+	peakBytes int64 // high-water mark of resident transfer bytes
+	dumpTime  time.Duration
+	// streamErr is a source-side failure (the dump stream or its COMMIT):
+	// the whole migration rolls back at step1.snapshot.
+	streamErr error
+	// slaveErr maps each failed slave to its first error; Migrate applies
+	// the Sec 4.2 discard rule (survivors continue, none left = rollback).
+	slaveErr map[Backend]error
+}
+
+// slaveRun is one destination's restore pipeline.
+type slaveRun struct {
+	sl   Backend
+	ch   chan *step1Chunk
+	done chan struct{} // closed when this slave's restore failed
+	err  error
+}
+
+// pipelineSnapshot is the pipelined form of Step 1 + Step 2: a three-stage
+// pipeline (dump → transfer → restore) replacing the monolithic
+// dump-everything-then-restore sequence. ctl must hold the open dump
+// transaction with its snapshot already pinned.
+//
+//	stage 1  the source session streams bounded statement chunks
+//	         (DUMP STREAM over the wire's multi-frame response)
+//	stage 2  each chunk is charged against the flow transfer budget and
+//	         broadcast to every live slave over a bounded channel —
+//	         a slow destination backpressures the dump scan here, so
+//	         resident transfer memory stays under the configured cap
+//	stage 3  per slave, a dispatcher feeds N parallel appliers, each
+//	         applying a chunk as one transaction (one WAL commit per
+//	         chunk instead of one per INSERT batch); completions feed a
+//	         single ordered acknowledgement cursor, and chunks carrying
+//	         DDL act as serial barriers
+//
+// The dump transaction COMMITs as soon as the scan finishes — the source
+// stops pinning MVCC versions while slaves are still applying.
+func pipelineSnapshot(ctl *wire.Client, tenant string, slaves []Backend,
+	opts MigrateOptions, budget *flow.TransferBudget) *pipelineResult {
+	res := &pipelineResult{slaveErr: make(map[Backend]error)}
+
+	runs := make([]*slaveRun, len(slaves))
+	var wg sync.WaitGroup
+	live := int32(len(slaves))
+	// allDead aborts the producer early (and unblocks a budget wait) once
+	// every slave has failed: no point finishing a dump nobody will apply.
+	allDead := make(chan struct{})
+	for i, sl := range slaves {
+		sr := &slaveRun{sl: sl, ch: make(chan *step1Chunk, restoreQueueChunks), done: make(chan struct{})}
+		runs[i] = sr
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := restoreStream(sr, tenant, opts); err != nil {
+				sr.err = err
+				close(sr.done)
+				if atomic.AddInt32(&live, -1) == 0 {
+					close(allDead)
+				}
+			}
+			// Keep consuming after a failure (and after restoreStream
+			// returns) so the producer never blocks on a dead slave and
+			// every routed chunk returns its budget claim.
+			for c := range sr.ch {
+				c.release()
+			}
+		}()
+	}
+
+	start := time.Now()
+	sink := func(seq uint32, stmts []string) error {
+		if ferr := fault.Inject(faultStep1Chunk); ferr != nil {
+			return ferr
+		}
+		select {
+		case <-allDead:
+			return errAllSlavesDead
+		default:
+		}
+		c := &step1Chunk{seq: int(seq), stmts: stmts, budget: budget}
+		for _, s := range stmts {
+			c.bytes += int64(len(s)) + chunkStmtOverhead
+			if !strings.HasPrefix(s, "INSERT ") {
+				c.ddl = true
+			}
+		}
+		c.refs.Store(int32(len(runs)))
+		stall := time.Now()
+		if err := budget.Acquire(c.bytes, allDead); err != nil {
+			return err
+		}
+		res.chunks++
+		res.stmts += len(stmts)
+		obsChunkBytes.Observe(c.bytes)
+		obsChunks.Inc()
+		for _, sr := range runs {
+			select {
+			case sr.ch <- c:
+			case <-sr.done:
+				c.release() // dead slave: its claim is returned unapplied
+			}
+		}
+		obsChunkStall.ObserveDuration(time.Since(stall))
+		return nil
+	}
+
+	_, err := ctl.ExecStream(fmt.Sprintf("DUMP STREAM %d", opts.ChunkStatements), sink)
+	if err == nil {
+		_, err = ctl.Exec("COMMIT")
+	}
+	res.dumpTime = time.Since(start)
+	if err != nil && (errors.Is(err, errAllSlavesDead) || errors.Is(err, flow.ErrTransferAborted)) {
+		// The stream died because the destinations did; the per-slave
+		// errors carry the real cause and Migrate's discard rule decides.
+		err = nil
+	}
+	res.streamErr = err
+	// End of stream (clean or not): closing the channels lets every
+	// dispatcher finish, drain, and exit.
+	for _, sr := range runs {
+		close(sr.ch)
+	}
+	wg.Wait()
+	for _, sr := range runs {
+		if sr.err != nil {
+			res.slaveErr[sr.sl] = sr.err
+		}
+	}
+	res.peakBytes = budget.Peak()
+	invariant.Check(func() error {
+		if used := budget.Used(); used != 0 {
+			return fmt.Errorf("core: step1 transfer budget leaked %d bytes", used)
+		}
+		return nil
+	})
+	return res
+}
+
+// applyAck is one applier's completion report.
+type applyAck struct {
+	seq int
+	err error
+}
+
+// restoreStream restores one slave from the chunk stream: a dispatcher
+// feeds nAppliers parallel appliers (each with its own connection, each
+// chunk one transaction) and folds their completions into a single ordered
+// acknowledgement cursor — chunk k counts as restored only once chunks
+// 0..k have all committed. Chunks containing DDL are barriers: the
+// dispatcher waits out every in-flight chunk, then applies the DDL
+// serially on its own connection, exactly like the monolithic restore did.
+func restoreStream(sr *slaveRun, tenant string, opts MigrateOptions) error {
+	if ferr := fault.Inject(faultStep2Restore); ferr != nil {
+		return ferr
+	}
+	if err := sr.sl.CreateDatabase(tenant); err != nil {
+		return err
+	}
+	ctl, err := connectRetry(sr.sl, tenant, faultRestoreDial, opts)
+	if err != nil {
+		return err
+	}
+	defer ctl.Close()
+	conns := make([]*wire.Client, 0, opts.RestoreAppliers)
+	defer func() {
+		for _, cn := range conns {
+			cn.Close()
+		}
+	}()
+	for i := 0; i < opts.RestoreAppliers; i++ {
+		cn, err := connectRetry(sr.sl, tenant, "", opts)
+		if err != nil {
+			return err
+		}
+		conns = append(conns, cn)
+	}
+
+	work := make(chan *step1Chunk)
+	acks := make(chan applyAck, len(conns))
+	var appliers sync.WaitGroup
+	for _, cn := range conns {
+		appliers.Add(1)
+		go func(cn *wire.Client) {
+			defer appliers.Done()
+			for c := range work {
+				err := applyChunkTxn(cn, c)
+				acks <- applyAck{seq: c.seq, err: err}
+				c.release()
+			}
+		}(cn)
+	}
+
+	// Ordered-ack bookkeeping: prefix is the contiguous restored front,
+	// pending the out-of-order completions above it.
+	prefix, outstanding := 0, 0
+	pending := make(map[int]bool)
+	var firstErr error
+	note := func(a applyAck) {
+		if a.err != nil && firstErr == nil {
+			firstErr = a.err
+		}
+		pending[a.seq] = true
+		for pending[prefix] {
+			delete(pending, prefix)
+			prefix++
+		}
+	}
+	collect := func() { // non-blocking ack drain
+		for {
+			select {
+			case a := <-acks:
+				outstanding--
+				note(a)
+			default:
+				return
+			}
+		}
+	}
+
+	total := 0
+dispatch:
+	for c := range sr.ch {
+		total++
+		collect()
+		if firstErr != nil {
+			c.release()
+			break
+		}
+		if c.ddl {
+			// Barrier: everything before the DDL must be down first, and
+			// nothing after it may start until it is.
+			for outstanding > 0 {
+				a := <-acks
+				outstanding--
+				note(a)
+			}
+			if firstErr != nil {
+				c.release()
+				break
+			}
+			err := applyChunkSerial(ctl, c)
+			note(applyAck{seq: c.seq, err: err})
+			c.release()
+			if firstErr != nil {
+				break
+			}
+			continue
+		}
+		for {
+			select {
+			case work <- c:
+				outstanding++
+				continue dispatch
+			case a := <-acks:
+				outstanding--
+				note(a)
+				if firstErr != nil {
+					c.release()
+					break dispatch
+				}
+			}
+		}
+	}
+	close(work)
+	for outstanding > 0 {
+		a := <-acks
+		outstanding--
+		note(a)
+	}
+	appliers.Wait()
+	if firstErr != nil {
+		return fmt.Errorf("core: restore on %s: %w", sr.sl.BackendName(), firstErr)
+	}
+	invariant.Assertf(prefix == total, "core: step1 restore acked %d of %d chunks with no error", prefix, total)
+	return nil
+}
+
+// applyChunkTxn applies an INSERT-only chunk as one transaction: one WAL
+// group commit per chunk instead of one per INSERT batch — the restore
+// throughput half of the pipelining win.
+func applyChunkTxn(cn *wire.Client, c *step1Chunk) error {
+	if ferr := fault.Inject(faultStep1Restore); ferr != nil {
+		return ferr
+	}
+	start := time.Now()
+	if _, err := cn.Exec("BEGIN"); err != nil {
+		return err
+	}
+	for _, stmt := range c.stmts {
+		if _, err := cn.Exec(stmt); err != nil {
+			_, _ = cn.Exec("ROLLBACK") // best-effort; the slave is discarded anyway
+			return err
+		}
+	}
+	if _, err := cn.Exec("COMMIT"); err != nil {
+		return err
+	}
+	obsApplyLatency.ObserveDuration(time.Since(start))
+	return nil
+}
+
+// applyChunkSerial applies a DDL-bearing chunk statement by statement in
+// autocommit, matching the monolithic restore's DDL semantics.
+func applyChunkSerial(cn *wire.Client, c *step1Chunk) error {
+	if ferr := fault.Inject(faultStep1Restore); ferr != nil {
+		return ferr
+	}
+	start := time.Now()
+	for _, stmt := range c.stmts {
+		if _, err := cn.Exec(stmt); err != nil {
+			return err
+		}
+	}
+	obsApplyLatency.ObserveDuration(time.Since(start))
+	return nil
+}

@@ -9,6 +9,10 @@ import (
 	"madeus/internal/storage"
 )
 
+// DefaultDumpChunk is the statements-per-chunk DUMP STREAM uses when the
+// client does not name a chunk size.
+const DefaultDumpChunk = 64
+
 // Dump serializes the session's database as a SQL script at one consistent
 // SI snapshot (the paper's Step-1 "dump transaction": snapshot creation runs
 // concurrently with customer transactions and never blocks them). The
@@ -19,6 +23,29 @@ import (
 // transaction's snapshot (pin it first with the SNAPSHOT command);
 // otherwise it runs in its own read-only transaction.
 func (s *Session) Dump() ([]string, error) {
+	var script []string
+	if _, err := s.DumpStream(0, func(stmts []string) error {
+		script = append(script, stmts...)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return script, nil
+}
+
+// DumpStream is the cursor form of Dump: it produces the identical
+// statement sequence but hands it to sink in bounded chunks of at most
+// maxStmts statements (maxStmts <= 0 delivers everything as one chunk),
+// so a caller can ship and restore the snapshot while the scan is still
+// running instead of materializing the whole script.
+//
+// Each chunk slice is owned by the sink (the iterator never reuses it), so
+// sinks may hand chunks to other goroutines. Table.Scan invokes its row
+// callback with no storage locks held, which is what makes it safe for a
+// sink to block on a bounded channel or a byte budget: backpressure here
+// pauses the dump, never customer transactions. A sink error stops the
+// scan and is returned verbatim. Returns the statements emitted.
+func (s *Session) DumpStream(maxStmts int, sink func(stmts []string) error) (int, error) {
 	txn := s.txn
 	if s.inTxn && txn != nil && !txn.Done() {
 		// Use the block's snapshot; the client owns the commit.
@@ -27,14 +54,34 @@ func (s *Session) Dump() ([]string, error) {
 		defer txn.Commit()
 	}
 
-	var script []string
+	total := 0
+	var chunk []string
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		out := chunk
+		chunk = nil
+		total += len(out)
+		return sink(out)
+	}
+	emit := func(stmt string) error {
+		chunk = append(chunk, stmt)
+		if maxStmts > 0 && len(chunk) >= maxStmts {
+			return flush()
+		}
+		return nil
+	}
+
 	for _, name := range s.db.Tables() {
 		tb, ok := s.db.table(name)
 		if !ok {
 			continue
 		}
 		schema := tb.Schema
-		script = append(script, createTableSQL(schema))
+		if err := emit(createTableSQL(schema)); err != nil {
+			return total, err
+		}
 		idxs := tb.Indexes()
 		idxNames := make([]string, 0, len(idxs))
 		for n := range idxs {
@@ -42,7 +89,9 @@ func (s *Session) Dump() ([]string, error) {
 		}
 		sort.Strings(idxNames)
 		for _, n := range idxNames {
-			script = append(script, fmt.Sprintf("CREATE INDEX %s ON %s (%s)", n, name, idxs[n]))
+			if err := emit(fmt.Sprintf("CREATE INDEX %s ON %s (%s)", n, name, idxs[n])); err != nil {
+				return total, err
+			}
 		}
 
 		cols := make([]string, len(schema.Columns))
@@ -52,11 +101,14 @@ func (s *Session) Dump() ([]string, error) {
 		header := fmt.Sprintf("INSERT INTO %s (%s) VALUES ", name, strings.Join(cols, ", "))
 
 		var batch []string
-		flush := func() {
-			if len(batch) > 0 {
-				script = append(script, header+strings.Join(batch, ", "))
-				batch = batch[:0]
+		var sinkErr error
+		flushBatch := func() error {
+			if len(batch) == 0 {
+				return nil
 			}
+			err := emit(header + strings.Join(batch, ", "))
+			batch = batch[:0]
+			return err
 		}
 		tb.Scan(txn, func(r storage.Row) bool {
 			vals := make([]string, len(r))
@@ -65,13 +117,21 @@ func (s *Session) Dump() ([]string, error) {
 			}
 			batch = append(batch, "("+strings.Join(vals, ", ")+")")
 			if len(batch) >= s.eng.opts.DumpBatch {
-				flush()
+				if err := flushBatch(); err != nil {
+					sinkErr = err
+					return false
+				}
 			}
 			return true
 		})
-		flush()
+		if sinkErr != nil {
+			return total, sinkErr
+		}
+		if err := flushBatch(); err != nil {
+			return total, err
+		}
 	}
-	return script, nil
+	return total, flush()
 }
 
 func createTableSQL(schema *storage.Schema) string {

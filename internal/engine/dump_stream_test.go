@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestDumpStreamMatchesDump: the chunked iterator must yield exactly the
+// monolithic dump's statement sequence, for every chunk size.
+func TestDumpStreamMatchesDump(t *testing.T) {
+	e := newTestEngine(t)
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, name TEXT)")
+	mustExec(t, s, "CREATE INDEX t_name ON t (name)")
+	for i := 0; i < 25; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO t (id, name) VALUES (%d, 'n%d')", i, i))
+	}
+	mustExec(t, s, "CREATE TABLE u (id INT PRIMARY KEY)")
+	mustExec(t, s, "INSERT INTO u (id) VALUES (1), (2)")
+
+	want, err := s.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunkSize := range []int{1, 2, 7, 64, 0} {
+		var got []string
+		var sizes []int
+		total, err := s.DumpStream(chunkSize, func(stmts []string) error {
+			got = append(got, stmts...)
+			sizes = append(sizes, len(stmts))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chunk %d: %v", chunkSize, err)
+		}
+		if total != len(got) {
+			t.Errorf("chunk %d: total %d, sunk %d", chunkSize, total, len(got))
+		}
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("chunk %d: stream differs from Dump:\n got %v\nwant %v", chunkSize, got, want)
+		}
+		for i, n := range sizes {
+			if chunkSize > 0 && n > chunkSize {
+				t.Errorf("chunk %d: batch %d has %d stmts", chunkSize, i, n)
+			}
+		}
+		if chunkSize <= 0 && len(sizes) != 1 {
+			t.Errorf("unbounded stream made %d chunks, want 1", len(sizes))
+		}
+	}
+}
+
+// TestDumpStreamSinkError: a failing sink stops the scan and surfaces the
+// error without wedging the session.
+func TestDumpStreamSinkError(t *testing.T) {
+	e := newTestEngine(t)
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
+	mustExec(t, s, "INSERT INTO t (id) VALUES (1), (2), (3), (4)")
+
+	boom := errors.New("sink refused")
+	calls := 0
+	_, err := s.DumpStream(1, func(stmts []string) error {
+		calls++
+		if calls == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want sink error", err)
+	}
+	if calls != 2 {
+		t.Fatalf("sink called %d times after error, want 2", calls)
+	}
+	// The session stays usable.
+	mustExec(t, s, "SELECT id FROM t")
+}
+
+// TestDumpStreamSnapshot: inside a transaction the stream sees the pinned
+// snapshot, not concurrent updates.
+func TestDumpStreamSnapshot(t *testing.T) {
+	e := newTestEngine(t)
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s, "INSERT INTO t (id, v) VALUES (1, 1)")
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "SELECT v FROM t") // pin the snapshot
+
+	other, _ := e.NewSession("shop")
+	mustExec(t, other, "UPDATE t SET v = 99 WHERE id = 1")
+
+	var got []string
+	if _, err := s.DumpStream(8, func(stmts []string) error {
+		got = append(got, stmts...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, s, "COMMIT")
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "(1, 1)") || strings.Contains(joined, "99") {
+		t.Errorf("stream leaked concurrent update: %v", got)
+	}
+}
+
+// TestExecStreamMeta: the DUMP STREAM meta command streams chunks through
+// ExecStream and reports the statement total in its tag, while plain Exec
+// falls back to a full single-result dump for non-streaming transports.
+func TestExecStreamMeta(t *testing.T) {
+	s := newShopSession(t)
+	for i := 0; i < 10; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO items (id, title, cost, stock) VALUES (%d, 't', 1, 1)", i))
+	}
+
+	var chunks [][]string
+	res, handled, err := s.ExecStream("DUMP STREAM 1", func(stmts []string) error {
+		cp := make([]string, len(stmts))
+		copy(cp, stmts)
+		chunks = append(chunks, cp)
+		return nil
+	})
+	if err != nil || !handled {
+		t.Fatalf("ExecStream: handled=%v err=%v", handled, err)
+	}
+	total := 0
+	for _, c := range chunks {
+		if len(c) > 1 {
+			t.Errorf("chunk of %d stmts, want <= 1", len(c))
+		}
+		total += len(c)
+	}
+	if want := fmt.Sprintf("DUMP STREAM %d", total); res.Tag != want {
+		t.Errorf("tag = %q, want %q", res.Tag, want)
+	}
+	if len(chunks) < 2 {
+		t.Fatalf("expected multiple chunks, got %d", len(chunks))
+	}
+
+	// Non-stream statements are not handled.
+	if _, handled, err := s.ExecStream("SELECT id FROM items", nil); handled || err != nil {
+		t.Fatalf("SELECT: handled=%v err=%v", handled, err)
+	}
+
+	// Plain Exec path: full dump as one result (relay fallback).
+	res = mustExec(t, s, "DUMP STREAM 1")
+	if len(res.Rows) != total {
+		t.Errorf("fallback rows = %d, want %d", len(res.Rows), total)
+	}
+	if !strings.HasPrefix(res.Tag, "DUMP ") {
+		t.Errorf("fallback tag = %q", res.Tag)
+	}
+
+	// Bad chunk sizes are usage errors.
+	for _, bad := range []string{"DUMP STREAM 0", "DUMP STREAM -1", "DUMP STREAM x", "DUMP STREAM 1 2"} {
+		if _, _, err := s.ExecStream(bad, func([]string) error { return nil }); err == nil {
+			t.Errorf("%q: want usage error", bad)
+		}
+	}
+}

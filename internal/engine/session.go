@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"madeus/internal/mvcc"
@@ -268,6 +269,63 @@ func (s *Session) execMeta(sql string) (*Result, bool, error) {
 			res.Rows = append(res.Rows, []sqlmini.Value{sqlmini.NewText(line)})
 		}
 		return res, true, nil
+	case head == "DUMP" && second == "STREAM":
+		// Non-streaming transport (a plain Exec, e.g. relayed through a
+		// middleware worker): chunking is a transport concern, so fall
+		// back to the full single-result dump.
+		if _, err := parseDumpChunk(fields); err != nil {
+			return nil, true, err
+		}
+		script, err := s.Dump()
+		if err != nil {
+			return nil, true, err
+		}
+		res := &Result{Columns: []string{"statement"}, Tag: fmt.Sprintf("DUMP %d", len(script))}
+		for _, line := range script {
+			res.Rows = append(res.Rows, []sqlmini.Value{sqlmini.NewText(line)})
+		}
+		return res, true, nil
 	}
 	return nil, false, nil
+}
+
+// parseDumpChunk extracts the chunk size from a DUMP STREAM command
+// ("DUMP STREAM" or "DUMP STREAM <statements>").
+func parseDumpChunk(fields []string) (int, error) {
+	usage := fmt.Errorf("engine: usage: DUMP STREAM [statements-per-chunk]")
+	switch len(fields) {
+	case 2:
+		return DefaultDumpChunk, nil
+	case 3:
+		n, err := strconv.Atoi(strings.TrimSuffix(fields[2], ";"))
+		if err != nil || n <= 0 {
+			return 0, usage
+		}
+		return n, nil
+	}
+	return 0, usage
+}
+
+// ExecStream executes sql, delivering bulk payload through emit in bounded
+// chunks before the final Result. handled reports whether sql has a
+// streaming form — only DUMP STREAM does; for everything else the caller
+// (the wire server) falls back to plain Exec. Chunks handed to emit are
+// owned by the callee, and an emit error aborts the dump and is returned
+// verbatim.
+func (s *Session) ExecStream(sql string, emit func(stmts []string) error) (*Result, bool, error) {
+	fields := strings.Fields(sql)
+	if len(fields) < 2 ||
+		strings.ToUpper(fields[0]) != "DUMP" ||
+		strings.ToUpper(strings.TrimSuffix(fields[1], ";")) != "STREAM" {
+		return nil, false, nil
+	}
+	chunk, err := parseDumpChunk(fields)
+	if err != nil {
+		return nil, true, err
+	}
+	total, err := s.DumpStream(chunk, emit)
+	if err != nil {
+		return nil, true, err
+	}
+	return &Result{Tag: fmt.Sprintf("DUMP STREAM %d", total)}, true, nil
 }

@@ -69,6 +69,10 @@ const (
 	// DefaultStallWindow aborts a migration that makes no replay progress
 	// for this long.
 	DefaultStallWindow = 30 * time.Second
+	// DefaultMaxTransferBytes caps the resident bytes of an in-flight
+	// Step-1 snapshot transfer (chunks dumped but not yet applied on every
+	// slave): the pipelined path's analog of the SSL byte cap.
+	DefaultMaxTransferBytes = 64 << 20
 	// DefaultAdmitTimeout bounds how long a queued session waits for an
 	// admission slot before it is shed.
 	DefaultAdmitTimeout = 2 * time.Second
@@ -104,6 +108,12 @@ type Config struct {
 	// or below target; must be in [0, 1).
 	PaceDecay float64
 
+	// MaxTransferBytes caps the resident memory of a pipelined Step-1
+	// snapshot transfer: the dump stage blocks once this many chunk bytes
+	// are in flight (transferred but not yet applied by every slave).
+	// 0 = unlimited.
+	MaxTransferBytes int64
+
 	// Deadline bounds a whole migration: past it the watchdog aborts
 	// through the rollback protocol. 0 = no deadline.
 	Deadline time.Duration
@@ -127,17 +137,18 @@ type Config struct {
 // daemon (cmd/madeusd) ships with it; tests and embedders opt in.
 func DefaultConfig() Config {
 	return Config{
-		MaxSSLSyncsets: DefaultMaxSSLSyncsets,
-		MaxSSLOps:      DefaultMaxSSLOps,
-		MaxSSLBytes:    DefaultMaxSSLBytes,
-		PaceTargetDebt: DefaultPaceTargetDebt,
-		PaceStep:       DefaultPaceStep,
-		PaceMaxDelay:   DefaultPaceMaxDelay,
-		PaceDecay:      DefaultPaceDecay,
-		StallWindow:    DefaultStallWindow,
-		MaxSessions:    1024,
-		AdmitQueue:     256,
-		AdmitTimeout:   DefaultAdmitTimeout,
+		MaxSSLSyncsets:   DefaultMaxSSLSyncsets,
+		MaxSSLOps:        DefaultMaxSSLOps,
+		MaxSSLBytes:      DefaultMaxSSLBytes,
+		PaceTargetDebt:   DefaultPaceTargetDebt,
+		PaceStep:         DefaultPaceStep,
+		PaceMaxDelay:     DefaultPaceMaxDelay,
+		PaceDecay:        DefaultPaceDecay,
+		MaxTransferBytes: DefaultMaxTransferBytes,
+		StallWindow:      DefaultStallWindow,
+		MaxSessions:      1024,
+		AdmitQueue:       256,
+		AdmitTimeout:     DefaultAdmitTimeout,
 	}
 }
 
@@ -171,6 +182,9 @@ func (c Config) Validate() error {
 	}
 	if c.PaceDecay < 0 || c.PaceDecay >= 1 {
 		return fmt.Errorf("flow: PaceDecay %v outside [0, 1)", c.PaceDecay)
+	}
+	if c.MaxTransferBytes < 0 {
+		return fmt.Errorf("flow: MaxTransferBytes %d < 0", c.MaxTransferBytes)
 	}
 	if c.Deadline < 0 {
 		return fmt.Errorf("flow: Deadline %v < 0", c.Deadline)
@@ -226,6 +240,7 @@ func (g *Governor) Update(cfg Config) error {
 // Order here is the FLOW listing order.
 var knobNames = []string{
 	"max_ssl_syncsets", "max_ssl_ops", "max_ssl_bytes",
+	"max_transfer_bytes",
 	"pace_target_debt", "pace_step", "pace_max_delay", "pace_decay",
 	"deadline", "stall_window",
 	"max_sessions", "admit_queue", "admit_timeout",
@@ -243,6 +258,8 @@ func (c Config) Knob(name string) string {
 		return strconv.Itoa(c.MaxSSLOps)
 	case "max_ssl_bytes":
 		return strconv.FormatInt(c.MaxSSLBytes, 10)
+	case "max_transfer_bytes":
+		return strconv.FormatInt(c.MaxTransferBytes, 10)
 	case "pace_target_debt":
 		return strconv.Itoa(c.PaceTargetDebt)
 	case "pace_step":
@@ -278,6 +295,8 @@ func (g *Governor) Set(name, value string) error {
 		cfg.MaxSSLOps, err = strconv.Atoi(value)
 	case "max_ssl_bytes":
 		cfg.MaxSSLBytes, err = strconv.ParseInt(value, 10, 64)
+	case "max_transfer_bytes":
+		cfg.MaxTransferBytes, err = strconv.ParseInt(value, 10, 64)
 	case "pace_target_debt":
 		cfg.PaceTargetDebt, err = strconv.Atoi(value)
 	case "pace_step":

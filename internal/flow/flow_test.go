@@ -56,18 +56,19 @@ func TestGovernorSetRoundTrip(t *testing.T) {
 	}
 	// Every knob must be settable and render back.
 	want := map[string]string{
-		"max_ssl_syncsets": "10",
-		"max_ssl_ops":      "100",
-		"max_ssl_bytes":    "4096",
-		"pace_target_debt": "8",
-		"pace_step":        "2ms",
-		"pace_max_delay":   "20ms",
-		"pace_decay":       "0.25",
-		"deadline":         "1m0s",
-		"stall_window":     "5s",
-		"max_sessions":     "3",
-		"admit_queue":      "2",
-		"admit_timeout":    "100ms",
+		"max_ssl_syncsets":   "10",
+		"max_ssl_ops":        "100",
+		"max_ssl_bytes":      "4096",
+		"pace_target_debt":   "8",
+		"pace_step":          "2ms",
+		"pace_max_delay":     "20ms",
+		"pace_decay":         "0.25",
+		"max_transfer_bytes": "1048576",
+		"deadline":           "1m0s",
+		"stall_window":       "5s",
+		"max_sessions":       "3",
+		"admit_queue":        "2",
+		"admit_timeout":      "100ms",
 	}
 	// pace_max_delay needs pace_step first; max_sessions before admit_queue.
 	order := []string{"pace_step", "pace_max_delay", "max_sessions", "admit_queue"}

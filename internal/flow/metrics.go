@@ -38,6 +38,11 @@ var (
 	// obsOverflows counts SSL cap breaches.
 	obsOverflows = obs.NewCounter("flow.ssl.overflows",
 		"migrations aborted by a syncset-list cap breach")
+	// obsTransferBytes tracks the resident bytes of in-flight Step-1
+	// snapshot chunks (dumped but not yet applied on every slave), summed
+	// over concurrent migrations.
+	obsTransferBytes = obs.NewGauge("flow.transfer.bytes",
+		"resident snapshot-transfer bytes in flight")
 )
 
 // Counter accessors for tests and the admin FLOW listing. Counters are
@@ -57,6 +62,9 @@ func Overflows() uint64 { return obsOverflows.Value() }
 
 // SSLBytes returns the currently accounted syncset-list bytes.
 func SSLBytes() int64 { return obsSSLBytes.Value() }
+
+// TransferBytes returns the currently resident snapshot-transfer bytes.
+func TransferBytes() int64 { return obsTransferBytes.Value() }
 
 // AdmitQueueDepth returns the sessions currently parked in admission
 // queues.

@@ -1,0 +1,94 @@
+package flow
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrTransferAborted is returned by TransferBudget.Acquire when the caller's
+// abort channel closed while it was waiting for headroom.
+var ErrTransferAborted = errors.New("flow: snapshot transfer aborted")
+
+// TransferBudget caps the resident bytes of one pipelined Step-1 snapshot
+// transfer: every chunk acquires its byte cost before it is shipped and
+// releases it once every slave has applied (or discarded) it, so peak
+// transfer memory is bounded like the SSL instead of growing with the
+// tenant. The budget is per-migration; the process-wide flow.transfer.bytes
+// gauge aggregates all in-flight transfers.
+//
+// Acquire blocks the dump stage — never customer transactions — when the
+// cap is reached. A chunk larger than the whole cap is admitted alone
+// (waits until the budget is empty) rather than deadlocking.
+type TransferBudget struct {
+	capBytes int64 // 0 = unlimited (accounting only)
+
+	mu      sync.Mutex
+	used    int64
+	peak    int64
+	waiters []chan struct{}
+}
+
+// NewTransferBudget builds a budget with the given cap; capBytes <= 0
+// disables blocking but keeps the accounting (gauge, peak).
+func NewTransferBudget(capBytes int64) *TransferBudget {
+	if capBytes < 0 {
+		capBytes = 0
+	}
+	return &TransferBudget{capBytes: capBytes}
+}
+
+// Cap returns the configured byte cap (0 = unlimited).
+func (b *TransferBudget) Cap() int64 { return b.capBytes }
+
+// Acquire blocks until n bytes fit under the cap or abort closes.
+func (b *TransferBudget) Acquire(n int64, abort <-chan struct{}) error {
+	for {
+		b.mu.Lock()
+		if b.capBytes <= 0 || b.used == 0 || b.used+n <= b.capBytes {
+			b.used += n
+			if b.used > b.peak {
+				b.peak = b.used
+			}
+			b.mu.Unlock()
+			obsTransferBytes.Add(n)
+			return nil
+		}
+		ch := make(chan struct{})
+		b.waiters = append(b.waiters, ch)
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-abort:
+			return ErrTransferAborted
+		}
+	}
+}
+
+// Release returns n bytes to the budget and wakes every waiter (each
+// re-checks under the lock, so spurious wakeups only cost a retry).
+func (b *TransferBudget) Release(n int64) {
+	b.mu.Lock()
+	b.used -= n
+	waiters := b.waiters
+	b.waiters = nil
+	b.mu.Unlock()
+	obsTransferBytes.Add(-n)
+	for _, ch := range waiters {
+		close(ch)
+	}
+}
+
+// Used returns the bytes currently in flight.
+func (b *TransferBudget) Used() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// Peak returns the high-water mark of in-flight bytes (the ablation's
+// "peak transfer bytes" column).
+func (b *TransferBudget) Peak() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.peak
+}

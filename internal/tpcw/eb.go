@@ -43,6 +43,7 @@ func (eb *EB) Run(ctx context.Context, conn Execer, rec *metrics.Recorder) error
 		seed = int64(eb.ID + 1)
 	}
 	eb.rng = rand.New(rand.NewSource(seed))
+	var think *time.Timer
 	for {
 		select {
 		case <-ctx.Done():
@@ -69,10 +70,22 @@ func (eb *EB) Run(ctx context.Context, conn Execer, rec *metrics.Recorder) error
 		}
 		if eb.Think > 0 {
 			d := eb.Think/2 + time.Duration(eb.rng.Int63n(int64(eb.Think)))
+			// Reuse one timer across iterations: time.After allocates a
+			// new timer per think pause that only frees on expiry, which
+			// at EB fleet scale is measurable churn.
+			if think == nil {
+				think = time.NewTimer(d)
+				defer think.Stop()
+			} else {
+				think.Reset(d)
+			}
 			select {
 			case <-ctx.Done():
+				if !think.Stop() {
+					<-think.C
+				}
 				return nil
-			case <-time.After(d):
+			case <-think.C:
 			}
 		}
 	}

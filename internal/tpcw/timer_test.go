@@ -1,0 +1,49 @@
+package tpcw
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"madeus/internal/metrics"
+	"madeus/internal/testutil"
+)
+
+// TestEBThinkTimerNoLeak: the think-time pause reuses one timer instead of
+// allocating a time.After per iteration; cancellation mid-pause must not
+// leave the timer goroutine (or anything else) behind.
+func TestEBThinkTimerNoLeak(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	s := testSession(t)
+	scale := Scale{Items: 60, Customers: 60, Authors: 10}
+	if err := Load(s, scale); err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	// A long think relative to the deadline guarantees cancellation lands
+	// inside the pause, exercising the Stop/drain path.
+	eb := &EB{ID: 1, Mix: Shopping, Scale: scale, Think: 50 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if err := eb.Run(ctx, s, rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Count() == 0 {
+		t.Error("no interactions recorded")
+	}
+	// Many short iterations: the reused timer must keep firing after
+	// Reset (a stuck Reset would hang Run past the context deadline).
+	eb2 := &EB{ID: 2, Mix: Shopping, Scale: scale, Think: time.Millisecond}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() { done <- eb2.Run(ctx2, s, rec) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("EB.Run wedged: think timer never fired after Reset")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/engine"
@@ -55,11 +56,18 @@ type RetryPolicy struct {
 	BaseBackoff time.Duration // backoff before the first retry
 	MaxBackoff  time.Duration // cap on the doubled backoff (0 = no cap)
 	Jitter      float64       // fraction of the backoff randomized, e.g. 0.2
-	Sleep       func(time.Duration)
+	// Seed fixes the jitter PRNG so a backoff schedule is reproducible
+	// (tests, deterministic replays). 0 derives a unique per-client seed.
+	Seed  int64
+	Sleep func(time.Duration)
 }
 
-// Backoff returns the pause before retry n (1-based).
-func (p RetryPolicy) Backoff(n int) time.Duration {
+// Backoff returns the pause before retry n (1-based), drawing jitter from
+// rng. Each retrying actor owns its rng (JitterRNG) — the old shared
+// global math/rand source serialized every backing-off client on one lock
+// during exactly the retry storms jitter exists to spread out, and made
+// schedules irreproducible under test. A nil rng disables jitter.
+func (p RetryPolicy) Backoff(n int, rng *rand.Rand) time.Duration {
 	d := p.BaseBackoff
 	if d <= 0 {
 		d = time.Millisecond
@@ -74,13 +82,26 @@ func (p RetryPolicy) Backoff(n int) time.Duration {
 	if p.MaxBackoff > 0 && d > p.MaxBackoff {
 		d = p.MaxBackoff
 	}
-	if p.Jitter > 0 {
-		d += time.Duration((rand.Float64()*2 - 1) * p.Jitter * float64(d))
+	if p.Jitter > 0 && rng != nil {
+		d += time.Duration((rng.Float64()*2 - 1) * p.Jitter * float64(d))
 		if d < 0 {
 			d = 0
 		}
 	}
 	return d
+}
+
+// seedCounter de-duplicates same-nanosecond automatic seeds.
+var seedCounter atomic.Int64
+
+// JitterRNG builds the policy's private jitter source: seeded from Seed
+// when set, unique otherwise.
+func (p RetryPolicy) JitterRNG() *rand.Rand {
+	seed := p.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano() + seedCounter.Add(1)<<32
+	}
+	return rand.New(rand.NewSource(seed))
 }
 
 // Client is a protocol client bound to one database session. A Client is
@@ -99,6 +120,7 @@ type Client struct {
 
 	opTimeout time.Duration
 	retry     RetryPolicy
+	rng       *rand.Rand // this client's private jitter source (lazy)
 }
 
 // Dial connects to addr and starts a session on database.
@@ -122,8 +144,20 @@ func DialRTT(addr, database string, rtt time.Duration) (*Client, error) {
 // may still arrive later). 0 disables the bound.
 func (c *Client) SetOpTimeout(d time.Duration) { c.opTimeout = d }
 
-// SetRetry installs the policy ExecRetry uses.
-func (c *Client) SetRetry(p RetryPolicy) { c.retry = p }
+// SetRetry installs the policy ExecRetry uses and re-arms the client's
+// jitter source so a new Seed takes effect.
+func (c *Client) SetRetry(p RetryPolicy) {
+	c.retry = p
+	c.rng = nil
+}
+
+// jitterRNG lazily builds this client's jitter source.
+func (c *Client) jitterRNG() *rand.Rand {
+	if c.rng == nil {
+		c.rng = c.retry.JitterRNG()
+	}
+	return c.rng
+}
 
 // Broken reports whether the connection has been poisoned by a transport
 // failure and needs a redial.
@@ -232,6 +266,89 @@ func (c *Client) Exec(sql string) (*engine.Result, error) {
 	return nil, c.lost("read", fmt.Errorf("wire: unexpected response type %q", typ))
 }
 
+// ExecStream sends one statement as a streaming query and hands each
+// response chunk to sink as it arrives, returning the trailer's final
+// result. The server assigns contiguous sequence numbers from 0; a gap,
+// reorder, or count mismatch poisons the connection like any other
+// protocol desynchronization. A sink error also poisons the connection —
+// the stream is abandoned with frames still in flight, so the session
+// cannot be reused — and is returned (wrapped in the typed loss, so the
+// cause stays inspectable via errors.Is/As).
+//
+// The op timeout, when set, bounds each frame rather than the whole
+// stream: a transfer makes progress or dies, however large the dump.
+func (c *Client) ExecStream(sql string, sink func(seq uint32, stmts []string) error) (*engine.Result, error) {
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	if c.broken {
+		return nil, &ConnLostError{Op: "exec", Cause: errors.New("client not connected")}
+	}
+	if err := fault.Inject(faultExec); err != nil {
+		return nil, c.faulted("exec", err)
+	}
+	frameDeadline := func() {
+		if c.opTimeout > 0 {
+			_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		}
+	}
+	frameDeadline()
+	defer func() {
+		if !c.broken && c.opTimeout > 0 {
+			_ = c.conn.SetDeadline(time.Time{})
+		}
+	}()
+	if err := fault.Inject(faultWrite); err != nil {
+		return nil, c.faulted("write", err)
+	}
+	if err := writeMsg(c.bw, MsgQueryStream, []byte(sql)); err != nil {
+		return nil, c.lost("write", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.lost("write", err)
+	}
+	var next uint32
+	for {
+		if err := fault.Inject(faultRead); err != nil {
+			return nil, c.faulted("read", err)
+		}
+		frameDeadline()
+		typ, payload, err := readMsg(c.br)
+		if err != nil {
+			return nil, c.lost("read", err)
+		}
+		switch typ {
+		case MsgStreamChunk:
+			seq, stmts, err := DecodeStreamChunk(payload)
+			if err != nil {
+				return nil, c.lost("read", err)
+			}
+			if seq != next {
+				return nil, c.lost("read", fmt.Errorf("wire: stream chunk %d arrived, want %d", seq, next))
+			}
+			next++
+			if err := sink(seq, stmts); err != nil {
+				return nil, c.lost("read", err)
+			}
+		case MsgStreamEnd:
+			chunks, res, err := DecodeStreamEnd(payload)
+			if err != nil {
+				return nil, c.lost("read", err)
+			}
+			if chunks != next {
+				return nil, c.lost("read", fmt.Errorf("wire: stream ended after %d chunks, server sent %d", next, chunks))
+			}
+			return res, nil
+		case MsgError:
+			// A server error is a clean stream terminator: the protocol
+			// is back in sync, no poisoning.
+			return nil, &ServerError{Msg: string(payload)}
+		default:
+			return nil, c.lost("read", fmt.Errorf("wire: unexpected response type %q", typ))
+		}
+	}
+}
+
 // ExecRetry is Exec plus the client's RetryPolicy: transport failures
 // (and injected faults) on *idempotent* statements are retried with
 // exponential backoff, redialing when the connection was poisoned.
@@ -249,7 +366,7 @@ func (c *Client) ExecRetry(sql string, idempotent bool) (*engine.Result, error) 
 		sleep = time.Sleep
 	}
 	for attempt := 1; attempt < p.MaxAttempts; attempt++ {
-		sleep(p.Backoff(attempt))
+		sleep(p.Backoff(attempt, c.jitterRNG()))
 		obsRetries.Inc()
 		if c.broken {
 			if derr := c.redial(); derr != nil {

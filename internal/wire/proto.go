@@ -31,6 +31,14 @@ const (
 	MsgReady     = 'O' // server → client: startup accepted
 	MsgResult    = 'R' // server → client: encoded engine.Result
 	MsgError     = 'E' // server → client: error text
+
+	// Streaming multi-frame response (the pipelined Step-1 dump path).
+	// A MsgQueryStream request is answered by zero or more MsgStreamChunk
+	// frames followed by exactly one MsgStreamEnd (or a MsgError, which
+	// terminates the stream at any point and leaves the protocol in sync).
+	MsgQueryStream = 'q' // client → server: payload = SQL text, response may stream
+	MsgStreamChunk = 'C' // server → client: u32 seq + u32 count + count statements
+	MsgStreamEnd   = 'Z' // server → client: u32 chunk total + encoded engine.Result
 )
 
 // maxPayload guards against corrupt frames.
@@ -184,6 +192,60 @@ func (d *decoder) value() (sqlmini.Value, error) {
 		return sqlmini.NewBool(b != 0), err
 	}
 	return sqlmini.Value{}, fmt.Errorf("wire: bad value kind %d", k)
+}
+
+// EncodeStreamChunk serializes one stream chunk: its sequence number
+// (contiguous from 0, assigned by the server) and its statements.
+func EncodeStreamChunk(seq uint32, stmts []string) []byte {
+	var e encoder
+	e.u32(seq)
+	e.u32(uint32(len(stmts)))
+	for _, s := range stmts {
+		e.str(s)
+	}
+	return e.buf
+}
+
+// DecodeStreamChunk parses an encoded stream chunk.
+func DecodeStreamChunk(buf []byte) (uint32, []string, error) {
+	d := decoder{buf: buf}
+	seq, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	n, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	stmts := make([]string, 0, n)
+	for i := uint32(0); i < n; i++ {
+		s, err := d.str()
+		if err != nil {
+			return 0, nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	return seq, stmts, nil
+}
+
+// EncodeStreamEnd serializes the stream trailer: how many chunks preceded
+// it (the client cross-checks for silent truncation) and the final result.
+func EncodeStreamEnd(chunks uint32, res *engine.Result) []byte {
+	var e encoder
+	e.u32(chunks)
+	e.buf = append(e.buf, EncodeResult(res)...)
+	return e.buf
+}
+
+// DecodeStreamEnd parses an encoded stream trailer.
+func DecodeStreamEnd(buf []byte) (uint32, *engine.Result, error) {
+	d := decoder{buf: buf}
+	chunks, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	res, err := DecodeResult(buf[d.off:])
+	return chunks, res, err
 }
 
 // EncodeResult serializes an engine result.

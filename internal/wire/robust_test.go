@@ -365,3 +365,88 @@ func TestExecRetryRedialsAndSucceeds(t *testing.T) {
 		t.Error("client still poisoned after successful redial")
 	}
 }
+
+func TestBackoffSeededJitterDeterministic(t *testing.T) {
+	// A fixed Seed makes the jittered schedule byte-for-byte reproducible:
+	// math/rand's generator is part of Go's compatibility promise, so these
+	// golden durations hold on every platform. (The old implementation drew
+	// from the global source — irreproducible, and one lock shared by every
+	// backing-off client in the process.)
+	p := RetryPolicy{
+		MaxAttempts: 5,
+		BaseBackoff: 10 * time.Millisecond,
+		MaxBackoff:  40 * time.Millisecond,
+		Jitter:      0.5,
+		Seed:        42,
+	}
+	want := []time.Duration{8730284, 11320010, 44163754, 28352749}
+	rng := p.JitterRNG()
+	for i, w := range want {
+		if got := p.Backoff(i+1, rng); got != w {
+			t.Errorf("attempt %d: backoff %v, want %v", i+1, got, w)
+		}
+	}
+
+	// Two actors with the same seed walk the same schedule; a different
+	// seed diverges; a nil rng disables jitter entirely.
+	a, b := p.JitterRNG(), p.JitterRNG()
+	other := p
+	other.Seed = 43
+	o := other.JitterRNG()
+	diverged := false
+	for n := 1; n <= 4; n++ {
+		da, db := p.Backoff(n, a), p.Backoff(n, b)
+		if da != db {
+			t.Errorf("attempt %d: same seed diverged: %v vs %v", n, da, db)
+		}
+		if p.Backoff(n, o) != da {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced identical schedules")
+	}
+	if got := p.Backoff(3, nil); got != 40*time.Millisecond {
+		t.Errorf("nil rng: backoff %v, want the unjittered 40ms", got)
+	}
+}
+
+func TestExecRetrySeededJitterSchedule(t *testing.T) {
+	// End to end: two clients configured with the same Seed observe
+	// identical jittered sleep schedules through ExecRetry.
+	addr := scriptedAddr(t, func(sess int, conn net.Conn, br *bufio.Reader) {
+		if !startupOK(conn, br) {
+			return
+		}
+		readMsg(br) // drop after the query: every attempt fails
+	})
+	run := func(seed int64) []time.Duration {
+		c, err := Dial(addr, "db")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		var sleeps []time.Duration
+		c.SetRetry(RetryPolicy{
+			MaxAttempts: 4,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  40 * time.Millisecond,
+			Jitter:      0.5,
+			Seed:        seed,
+			Sleep:       func(d time.Duration) { sleeps = append(sleeps, d) },
+		})
+		if _, err := c.ExecRetry("SELECT 1 FROM t", true); !errors.Is(err, ErrConnLost) {
+			t.Fatalf("got %v, want ErrConnLost", err)
+		}
+		return sleeps
+	}
+	s1, s2 := run(7), run(7)
+	if len(s1) != 3 {
+		t.Fatalf("slept %d times, want 3", len(s1))
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("retry %d: %v vs %v (same seed must match)", i+1, s1[i], s2[i])
+		}
+	}
+}

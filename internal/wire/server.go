@@ -23,6 +23,8 @@ var (
 	obsBytesOut    = obs.NewCounter("wire.bytes.out", "response payload bytes sent")
 	obsOpLatency   = obs.NewHistogram("wire.op.latency", "server-side per-operation latency", obs.DurationBuckets())
 	obsRetries     = obs.NewCounter("wire.retries", "client-side op retries after transport failures")
+	obsStreamOps   = obs.NewCounter("wire.stream.ops", "streaming queries served")
+	obsStreamChunk = obs.NewCounter("wire.stream.chunks", "stream chunk frames sent")
 )
 
 // faultServeOp is the server-side per-op failpoint: a drop policy hangs
@@ -35,6 +37,16 @@ const faultServeOp = "wire.serve.op"
 type Conn interface {
 	Exec(sql string) (*engine.Result, error)
 	Close()
+}
+
+// StreamConn is the optional streaming capability of a Conn: ExecStream
+// runs sql, handing bulk payload to emit in bounded chunks before the
+// final result. handled=false means sql has no streaming form and the
+// server answers through plain Exec instead. Sessions without this
+// capability (e.g. middleware worker sessions) still accept
+// MsgQueryStream — they just answer with a chunkless trailer.
+type StreamConn interface {
+	ExecStream(sql string, emit func(stmts []string) error) (res *engine.Result, handled bool, err error)
 }
 
 // Handler opens a session when a client's startup message arrives.
@@ -182,6 +194,63 @@ func (s *Server) serve(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+		case MsgQueryStream:
+			if ferr := fault.Inject(faultServeOp); ferr != nil {
+				if fault.IsConnDrop(ferr) {
+					return // vanish mid-conversation
+				}
+				_ = writeMsg(bw, MsgError, []byte(ferr.Error()))
+				if bw.Flush() != nil {
+					return
+				}
+				continue
+			}
+			obsOps.Inc()
+			obsStreamOps.Inc()
+			obsBytesIn.Add(uint64(len(payload) + msgHeaderLen))
+			start := time.Now()
+			var chunks uint32
+			var res *engine.Result
+			var err error
+			handled := false
+			if sc, ok := sess.(StreamConn); ok {
+				// Each chunk frame is flushed immediately so the client's
+				// restore pipeline overlaps the ongoing scan; a write
+				// failure surfaces through ExecStream's emit error and
+				// ends the session below.
+				res, handled, err = sc.ExecStream(string(payload), func(stmts []string) error {
+					body := EncodeStreamChunk(chunks, stmts)
+					chunks++
+					obsStreamChunk.Inc()
+					obsBytesOut.Add(uint64(len(body) + msgHeaderLen))
+					if werr := writeMsg(bw, MsgStreamChunk, body); werr != nil {
+						return werr
+					}
+					return bw.Flush()
+				})
+			}
+			if !handled && err == nil {
+				res, err = sess.Exec(string(payload))
+			}
+			obsOpLatency.ObserveDuration(time.Since(start))
+			var out []byte
+			if err != nil {
+				// MsgError is a valid stream terminator at any point; if
+				// the failure was the transport itself this write fails
+				// too and the session ends.
+				out = []byte(err.Error())
+				err = writeMsg(bw, MsgError, out)
+			} else {
+				out = EncodeStreamEnd(chunks, res)
+				err = writeMsg(bw, MsgStreamEnd, out)
+			}
+			obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
+			if err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
 		case MsgTerminate:
 			return
 		default:
@@ -196,6 +265,9 @@ func (s *Server) serve(conn net.Conn) {
 // sessionConn adapts *engine.Session (whose Close returns nothing) to Conn.
 // engine.Session already matches; this var asserts it.
 var _ Conn = (*engine.Session)(nil)
+
+// Engine sessions are the streaming-capable backend (DUMP STREAM).
+var _ StreamConn = (*engine.Session)(nil)
 
 // EngineHandler serves sessions straight from an engine (the normal DBMS
 // node configuration).

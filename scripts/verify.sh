@@ -30,6 +30,18 @@ go test -tags faultinject -race -count=1 ./internal/fault/ ./internal/core/ ./in
 go test -count=1 -run 'TestFaultDisabledOverhead' .
 go test -tags faultinject -count=1 -run 'TestFaultDisabledOverhead' .
 
+# Step-1 pipeline gate: race-check the chunked snapshot path end to end —
+# the engine dump cursor, the wire streaming protocol (seq gaps, truncation,
+# mid-stream drops must poison the connection), the pipelined migration with
+# its transfer-budget cap, the deterministic seeded retry jitter, and the
+# timer-churn fixes; then the chunk chaos scenarios and the slow-destination
+# backpressure test under faultinject.
+go test -race -count=1 -run 'TestDumpStream|TestExecStream|TestStreamChunk|TestQueryStream' ./internal/engine/ ./internal/wire/
+go test -race -count=1 -run 'TestPipelined|TestMonolithicDumpAblation' ./internal/core/
+go test -race -count=1 -run 'TestBackoffSeededJitterDeterministic|TestExecRetrySeededJitterSchedule' ./internal/wire/
+go test -race -count=1 -run 'TestEBThinkTimerNoLeak' ./internal/tpcw/
+go test -tags faultinject -race -count=1 -run 'TestChaosMigration|TestStep1SlowDestinationBackpressure' ./internal/core/
+
 # Backpressure gate: race-check the flow package and the overload/convergence
 # suite (admission shedding, SSL caps, watchdog aborts, paced convergence),
 # run the admission/stall chaos scenarios under faultinject, and assert that
