@@ -9,16 +9,38 @@
 //
 // Scale knobs (-rowfactor, -ebfactor, -fsync, ...) override the calibrated
 // defaults documented in EXPERIMENTS.md.
+//
+// -json <path> additionally records each experiment's rendered output and
+// wall-clock duration (plus the exact Config used) to a machine-readable
+// baseline file — the `BENCH_*.json` perf-trajectory snapshots ROADMAP.md
+// asks for. Compare two snapshots with any JSON diff; the duration field is
+// the coarse regression signal, the embedded tables the precise one.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"madeus/internal/bench"
 )
+
+// benchSnapshot is the on-disk shape of a -json baseline.
+type benchSnapshot struct {
+	Quick       bool         `json:"quick"`
+	Config      bench.Config `json:"config"`
+	Experiments []benchEntry `json:"experiments"`
+}
+
+type benchEntry struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+}
 
 func main() {
 	var (
@@ -33,6 +55,7 @@ func main() {
 		measure = flag.Duration("measure", 0, "override measurement window")
 		catchup = flag.Duration("catchup", 0, "override catch-up timeout (N/A threshold)")
 		slots   = flag.Int("slots", 0, "override execution slots per node")
+		jsonOut = flag.String("json", "", "write a BENCH_*.json baseline (output + timings) to this path")
 	)
 	flag.Parse()
 
@@ -76,14 +99,26 @@ func main() {
 		return
 	}
 
+	snap := benchSnapshot{Quick: *quick, Config: cfg}
 	run := func(id string) {
 		start := time.Now()
 		fmt.Printf("# running %s ...\n", id)
-		if err := bench.RunByID(id, cfg, os.Stdout); err != nil {
+		var out io.Writer = os.Stdout
+		var buf bytes.Buffer
+		if *jsonOut != "" {
+			out = io.MultiWriter(os.Stdout, &buf)
+		}
+		if err := bench.RunByID(id, cfg, out); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
 			os.Exit(1)
 		}
-		fmt.Printf("# %s done in %v\n\n", id, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("# %s done in %v\n\n", id, elapsed.Round(time.Millisecond))
+		if *jsonOut != "" {
+			snap.Experiments = append(snap.Experiments, benchEntry{
+				ID: id, Seconds: elapsed.Seconds(), Output: buf.String(),
+			})
+		}
 	}
 	if *exp == "all" {
 		for _, e := range bench.Experiments() {
@@ -94,7 +129,20 @@ func main() {
 			}
 			run(e.ID)
 		}
-		return
+	} else {
+		run(*exp)
 	}
-	run(*exp)
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote %s\n", *jsonOut)
+	}
 }

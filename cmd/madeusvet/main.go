@@ -4,32 +4,68 @@
 //	go run ./cmd/madeusvet ./...
 //
 // Output is one line per finding, `file:line:col: [rule] message`, and the
-// exit status is 1 when anything fired (2 on load errors), so the command
-// slots straight into scripts/verify.sh and CI. Suppress an intentional
-// deviation at its site with `//madeusvet:ignore rule reason`. The analyzer
-// set and the discipline each rule enforces are documented in
+// exit status is 1 when anything fired (2 on load or usage errors), so the
+// command slots straight into scripts/verify.sh and CI. Flags:
+//
+//	-rules lockorder,holdblock   run only the named rules (default: all)
+//	-list                        list the analyzers and exit
+//	-json                        emit findings as a JSON array on stdout
+//	-baseline vet-baseline.json  filter findings recorded in the baseline
+//	-write-baseline              write current findings to -baseline and exit 0
+//
+// A baseline entry matches on (file, rule, message) — line numbers drift
+// with unrelated edits, so they are not part of the key. Suppress an
+// intentional deviation at its site with `//madeusvet:ignore rule reason`
+// instead; the baseline exists only to ratchet legacy findings down.
+// The analyzer set and the discipline each rule enforces are documented in
 // internal/analysis and DESIGN.md ("Concurrency invariants & lock
-// hierarchy").
+// hierarchy", "Interprocedural analysis").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 
 	"madeus/internal/analysis"
 )
 
+// jsonFinding is the stable wire form of one finding.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (f jsonFinding) key() string {
+	return f.File + "\x00" + f.Rule + "\x00" + f.Message
+}
+
 func main() {
-	listRules := flag.Bool("rules", false, "list the analyzers and exit")
+	rules := flag.String("rules", "", "comma-separated rule names to run (default: all)")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "baseline file of accepted findings to filter out")
+	writeBaseline := flag.Bool("write-baseline", false, "write current findings to -baseline and exit")
 	flag.Parse()
 
-	if *listRules {
+	if *list {
 		for _, a := range analysis.All() {
 			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "madeusvet:", err)
+		os.Exit(2)
 	}
 
 	patterns := flag.Args()
@@ -41,23 +77,137 @@ func main() {
 		fmt.Fprintln(os.Stderr, "madeusvet:", err)
 		os.Exit(2)
 	}
-
-	cwd, _ := os.Getwd()
-	findings := 0
 	for _, pkg := range pkgs {
 		if pkg.TypeErr != nil {
 			fmt.Fprintf(os.Stderr, "madeusvet: note: %s type-checked partially: %v\n", pkg.Path, pkg.TypeErr)
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, analysis.All()) {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !filepath.IsAbs(rel) {
-				d.Pos.Filename = rel
+	}
+
+	cwd, _ := os.Getwd()
+	var findings []jsonFinding
+	for _, d := range analysis.RunAll(pkgs, analyzers) {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(cwd, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		findings = append(findings, jsonFinding{
+			File: file, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Message: d.Message,
+		})
+	}
+
+	if *writeBaseline {
+		if *baselinePath == "" {
+			fmt.Fprintln(os.Stderr, "madeusvet: -write-baseline requires -baseline <path>")
+			os.Exit(2)
+		}
+		if err := saveBaseline(*baselinePath, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "madeusvet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "madeusvet: wrote %d finding(s) to %s\n", len(findings), *baselinePath)
+		return
+	}
+
+	if *baselinePath != "" {
+		accepted, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "madeusvet:", err)
+			os.Exit(2)
+		}
+		kept := findings[:0]
+		filtered := 0
+		for _, f := range findings {
+			if accepted[f.key()] {
+				filtered++
+				continue
 			}
-			fmt.Println(d)
-			findings++
+			kept = append(kept, f)
+		}
+		findings = kept
+		if filtered > 0 {
+			fmt.Fprintf(os.Stderr, "madeusvet: %d finding(s) filtered by baseline %s\n", filtered, *baselinePath)
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "madeusvet: %d finding(s)\n", findings)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []jsonFinding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "madeusvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Rule, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "madeusvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// selectAnalyzers resolves the -rules flag against the registered set.
+func selectAnalyzers(spec string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || seen[name] {
+			continue
+		}
+		a := byName[name]
+		if a == nil {
+			known := make([]string, 0, len(byName))
+			for n := range byName {
+				known = append(known, n)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown rule %q (known: %s)", name, strings.Join(known, ", "))
+		}
+		seen[name] = true
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func saveBaseline(path string, findings []jsonFinding) error {
+	if findings == nil {
+		findings = []jsonFinding{}
+	}
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findings); err != nil {
+		return err
+	}
+	return os.WriteFile(path, []byte(buf.String()), 0o644)
+}
+
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []jsonFinding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	accepted := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		accepted[e.key()] = true
+	}
+	return accepted, nil
 }

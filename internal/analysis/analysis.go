@@ -8,8 +8,15 @@
 // critical regions, which calls block, which errors are load-bearing on the
 // commit/WAL/wire paths, and which assertions must stay behind the
 // `invariants` build tag. Each analyzer encodes one such rule; DESIGN.md
-// ("Concurrency invariants & lock hierarchy") documents the discipline they
-// enforce.
+// ("Concurrency invariants & lock hierarchy" and "Interprocedural
+// analysis") documents the discipline they enforce.
+//
+// Two tiers of analyzer share the harness. Per-package rules walk one
+// package's ASTs (lockdiscipline, lockcopy, goroleak, errdrop,
+// invariantcall, timerchurn, tagparity). Interprocedural rules (lockorder,
+// holdblock) consult a Program: a whole-load static call graph with
+// per-function summaries of mutexes acquired and blocking operations
+// reached, built once per run and shared by every package's pass.
 //
 // Findings can be suppressed at a specific site with an inline directive on
 // the same line or the line directly above:
@@ -17,12 +24,15 @@
 //	//madeusvet:ignore rulename reason for the exemption
 //
 // Suppressions are for intentional, documented deviations (e.g. the WAL's
-// serial mode holding its mutex across the modeled fsync); use sparingly.
+// serial mode holding its mutex across the modeled fsync); use sparingly. A
+// directive that no longer suppresses anything is itself reported (rule
+// staleignore), so dead exemptions cannot accumulate.
 package analysis
 
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/token"
 	"go/types"
 	"sort"
@@ -49,16 +59,21 @@ type Analyzer struct {
 
 // Pass hands one package to an analyzer. Info and Types may be incomplete
 // when type-checking partially failed (the loader records the error and
-// continues); analyzers must degrade to AST heuristics in that case.
+// continues); analyzers must degrade to AST heuristics in that case. Prog
+// is the whole-load interprocedural view shared by every pass of one run.
 type Pass struct {
-	Analyzer *Analyzer
-	Fset     *token.FileSet
-	Files    []*ast.File
-	PkgPath  string
-	Types    *types.Package
-	Info     *types.Info
+	Analyzer    *Analyzer
+	Fset        *token.FileSet
+	Files       []*ast.File
+	TaggedFiles []TaggedFile
+	Constraints map[*ast.File]constraint.Expr
+	PkgPath     string
+	Types       *types.Package
+	Info        *types.Info
+	Prog        *Program
 
-	diags []Diagnostic
+	ownFiles map[string]bool
+	diags    []Diagnostic
 }
 
 // Reportf records a finding at pos.
@@ -68,6 +83,19 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Rule:    p.Analyzer.Name,
 		Message: fmt.Sprintf(format, args...),
 	})
+}
+
+// adoptOwned copies the program-wide findings that live in this pass's
+// package. Interprocedural analyzers compute findings once per Program and
+// each package's pass claims its own, so suppression and reporting stay
+// per-package.
+func (p *Pass) adoptOwned(all []Diagnostic) {
+	for _, d := range all {
+		if p.ownFiles[d.Pos.Filename] {
+			d.Rule = p.Analyzer.Name
+			p.diags = append(p.diags, d)
+		}
+	}
 }
 
 // TypeOf returns the type of e, or nil when type info is unavailable.
@@ -87,22 +115,68 @@ func All() []*Analyzer {
 		ErrDrop,
 		InvariantCall,
 		TimerChurn,
+		LockOrder,
+		HoldBlock,
+		TagParity,
+		StaleIgnore,
 	}
 }
 
-// RunAnalyzers applies each analyzer to pkg and returns the surviving
-// findings, sorted by position, with //madeusvet:ignore directives applied.
+// StaleIgnore reports //madeusvet:ignore directives that no longer suppress
+// any finding. The harness applies it after every other selected rule has
+// run on a package: a directive is stale only when each rule it names ran
+// in this very invocation and still produced nothing at the directive's
+// site, so a narrowed -rules run never mislabels a live exemption. Packages
+// whose type-check failed are skipped (degraded rules may simply have
+// missed the finding the directive guards).
+var StaleIgnore = &Analyzer{
+	Name: "staleignore",
+	Doc:  "an //madeusvet:ignore directive that suppresses nothing is itself a finding",
+	Run:  func(*Pass) {}, // applied by the harness after all rules run
+}
+
+// RunAnalyzers applies each analyzer to pkg in isolation (the package plus
+// its cached dependency closure form the interprocedural Program) and
+// returns the surviving findings, sorted by position, with
+// //madeusvet:ignore directives applied.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
-	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	return runPackage(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunAll builds one Program over every target package and runs the
+// analyzers package by package; interprocedural rules see the whole load.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	prog := NewProgram(pkgs)
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		out = append(out, runPackage(prog, pkg, analyzers)...)
+	}
+	return out
+}
+
+func runPackage(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	ignores := collectIgnores(pkg.Fset, pkg.Files, pkg.Tagged)
+	own := make(map[string]bool, len(pkg.Files)+len(pkg.Tagged))
+	for _, f := range pkg.Files {
+		own[pkg.Fset.Position(f.Pos()).Filename] = true
+	}
+	for _, tf := range pkg.Tagged {
+		own[pkg.Fset.Position(tf.File.Pos()).Filename] = true
+	}
+
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			PkgPath:  pkg.Path,
-			Types:    pkg.Types,
-			Info:     pkg.Info,
+			Analyzer:    a,
+			Fset:        pkg.Fset,
+			Files:       pkg.Files,
+			TaggedFiles: pkg.Tagged,
+			Constraints: pkg.Constraints,
+			PkgPath:     pkg.Path,
+			Types:       pkg.Types,
+			Info:        pkg.Info,
+			Prog:        prog,
+			ownFiles:    own,
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
@@ -112,6 +186,51 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			out = append(out, d)
 		}
 	}
+
+	// Stale-suppression pass: after every selected rule has run, an
+	// eligible directive that suppressed nothing is dead weight.
+	if hasAnalyzer(analyzers, StaleIgnore.Name) && pkg.TypeErr == nil {
+		names := make(map[string]bool, len(analyzers))
+		for _, a := range analyzers {
+			names[a.Name] = true
+		}
+		full := true
+		for _, a := range All() {
+			if !names[a.Name] {
+				full = false
+				break
+			}
+		}
+		for _, dir := range ignores.directives {
+			if dir.used || dir.inTagged {
+				continue
+			}
+			if dir.all && !full {
+				continue
+			}
+			eligible := true
+			for _, r := range dir.rules {
+				if !names[r] {
+					eligible = false
+					break
+				}
+			}
+			if !eligible {
+				continue
+			}
+			d := Diagnostic{
+				Pos:  dir.pos,
+				Rule: StaleIgnore.Name,
+				Message: fmt.Sprintf("stale suppression: //madeusvet:ignore %s no longer suppresses any finding; delete it or restate why it is needed",
+					strings.Join(dir.rules, ",")),
+			}
+			if ignores.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -125,16 +244,52 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// ignoreSet maps file -> line -> rules suppressed at that line.
-type ignoreSet map[string]map[int]map[string]bool
+func hasAnalyzer(analyzers []*Analyzer, name string) bool {
+	for _, a := range analyzers {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreDirective is one //madeusvet:ignore occurrence, tracked for
+// staleness.
+type ignoreDirective struct {
+	pos      token.Position
+	rules    []string
+	all      bool
+	used     bool
+	inTagged bool
+}
+
+func (d *ignoreDirective) matches(rule string) bool {
+	if d.all {
+		return true
+	}
+	for _, r := range d.rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreIndex maps file -> line -> directives covering that line.
+type ignoreIndex struct {
+	directives []*ignoreDirective
+	byLine     map[string]map[int][]*ignoreDirective
+}
 
 // collectIgnores scans comments for madeusvet:ignore directives. A directive
 // suppresses the named rules (comma-separated; "all" matches every rule) on
 // its own line and on the line that follows it, so both trailing and
-// preceding comment placement work.
-func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
-	set := make(ignoreSet)
-	for _, f := range files {
+// preceding comment placement work. Directives in tag-excluded files are
+// honored (tagparity reports at positions inside them) but exempt from
+// staleness, since most rules never see those files.
+func collectIgnores(fset *token.FileSet, files []*ast.File, tagged []TaggedFile) *ignoreIndex {
+	idx := &ignoreIndex{byLine: make(map[string]map[int][]*ignoreDirective)}
+	scan := func(f *ast.File, inTagged bool) {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
@@ -148,30 +303,47 @@ func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				byLine := set[pos.Filename]
+				dir := &ignoreDirective{pos: pos, inTagged: inTagged}
+				for _, r := range strings.Split(fields[0], ",") {
+					r = strings.TrimSpace(r)
+					if r == "all" {
+						dir.all = true
+					} else if r != "" {
+						dir.rules = append(dir.rules, r)
+					}
+				}
+				idx.directives = append(idx.directives, dir)
+				byLine := idx.byLine[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]map[string]bool)
-					set[pos.Filename] = byLine
+					byLine = make(map[int][]*ignoreDirective)
+					idx.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
-					rules := byLine[line]
-					if rules == nil {
-						rules = make(map[string]bool)
-						byLine[line] = rules
-					}
-					for _, r := range strings.Split(fields[0], ",") {
-						rules[strings.TrimSpace(r)] = true
-					}
+					byLine[line] = append(byLine[line], dir)
 				}
 			}
 		}
 	}
-	return set
+	for _, f := range files {
+		scan(f, false)
+	}
+	for _, tf := range tagged {
+		scan(tf.File, true)
+	}
+	return idx
 }
 
-func (s ignoreSet) suppressed(d Diagnostic) bool {
-	rules := s[d.Pos.Filename][d.Pos.Line]
-	return rules != nil && (rules[d.Rule] || rules["all"])
+// suppressed reports whether a directive covers d, marking the directive
+// used.
+func (idx *ignoreIndex) suppressed(d Diagnostic) bool {
+	hit := false
+	for _, dir := range idx.byLine[d.Pos.Filename][d.Pos.Line] {
+		if dir.matches(d.Rule) {
+			dir.used = true
+			hit = true
+		}
+	}
+	return hit
 }
 
 // --- shared AST helpers used by several analyzers ---

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// HoldBlock enforces the "never block while holding a session-or-deeper
+// lock" rule interprocedurally: while a mutex annotated with
+// //madeusvet:lockrank rank >= RankSession is held, no blocking operation
+// may be reachable — directly or through any chain of calls resolved by the
+// whole-load call graph. Blocking operations are channel send/receive,
+// default-less select, sync.Cond.Wait, WaitGroup.Wait, time.Sleep,
+// simulated I/O, net dial/listen, WAL fsync / group-commit waits, pacing
+// and transfer-budget waits, and wire client round-trips.
+//
+// The one sanctioned deviation in the tree is the WAL's serial-mode commit,
+// which models an exclusive fsync per commit and carries an inline
+// //madeusvet:ignore with its justification. sync.Cond.Wait on the held
+// lock's own condition variable releases that mutex while waiting; if a
+// new call site needs that pattern on a ranked lock, suppress it inline
+// with the same reasoning.
+var HoldBlock = &Analyzer{
+	Name: "holdblock",
+	Doc:  "no blocking operation reachable (transitively) while a lock of rank >= session is held",
+	Run:  runHoldBlock,
+}
+
+func runHoldBlock(pass *Pass) {
+	prog := pass.Prog
+	if prog == nil {
+		return
+	}
+	all := prog.cached("holdblock", func() []Diagnostic {
+		return holdBlockFindings(prog)
+	})
+	pass.adoptOwned(all)
+}
+
+func holdBlockFindings(prog *Program) []Diagnostic {
+	var out []Diagnostic
+	reported := make(map[token.Pos]bool) // one finding per site
+
+	report := func(pos token.Pos, format string, args ...any) {
+		if reported[pos] {
+			return
+		}
+		reported[pos] = true
+		out = append(out, Diagnostic{
+			Pos:     prog.Fset.Position(pos),
+			Rule:    "holdblock",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+
+	// rankedHeld renders the session-or-deeper locks in held, if any.
+	rankedHeld := func(held []heldLock) string {
+		var names []string
+		for _, h := range held {
+			if r, ok := prog.Ranks.Rank(h.obj); ok && r.Rank >= RankSession {
+				names = append(names, fmt.Sprintf("%s (rank %d)", r.Name, r.Rank))
+			}
+		}
+		return strings.Join(names, ", ")
+	}
+
+	for _, fi := range prog.sortedFuncs() {
+		// Direct blocking operations under a ranked lock.
+		for _, b := range fi.blocks {
+			if locks := rankedHeld(b.held); locks != "" {
+				report(b.pos, "%s while holding %s", b.kind, locks)
+			}
+		}
+		// Call sites whose callees (transitively) reach a blocking op.
+		for _, cs := range fi.calls {
+			locks := rankedHeld(cs.held)
+			if locks == "" {
+				continue
+			}
+			kind, chain, ok := blockingReach(prog, cs)
+			if !ok {
+				continue
+			}
+			via := ""
+			if len(chain) > 1 {
+				via = " (" + strings.Join(chain, " → ") + ")"
+			}
+			report(cs.pos, "call to %s reaches %s%s while holding %s", cs.display, kind, via, locks)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// blockingReach picks a deterministic witness among the call site's
+// callees: the lexicographically first blocking kind, with its call chain.
+func blockingReach(prog *Program, cs callSite) (kind string, chain []string, ok bool) {
+	type hit struct {
+		kind  string
+		chain []string
+	}
+	var best *hit
+	for _, callee := range cs.callees {
+		g := prog.funcs[callee]
+		if g == nil {
+			continue
+		}
+		for k, w := range g.sumBlocks {
+			h := hit{kind: k, chain: prependPath(displayName(callee), w.path)}
+			if best == nil || h.kind < best.kind ||
+				(h.kind == best.kind && len(h.chain) < len(best.chain)) {
+				c := h
+				best = &c
+			}
+		}
+	}
+	if best == nil {
+		return "", nil, false
+	}
+	return best.kind, best.chain, true
+}

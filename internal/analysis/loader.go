@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed, and (best-effort) type-checked package.
@@ -23,25 +24,88 @@ type Package struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 
+	// Tagged holds files excluded from the production build by a custom
+	// build tag (e.g. `//go:build invariants`). They are parsed but never
+	// type-checked; the tagparity analyzer compares their exported
+	// surface against the no-tag variants in Files.
+	Tagged []TaggedFile
+
+	// Constraints records the //go:build expression of each *included*
+	// file that carries one (e.g. the `!faultinject` stub variant); files
+	// without constraints are absent.
+	Constraints map[*ast.File]constraint.Expr
+
+	// Target marks packages matched by the Load patterns. Dependencies
+	// pulled in only so the targets type-check completely are loaded with
+	// Target=false and are not returned by Load (they stay in the cache
+	// and are reachable through the call graph).
+	Target bool
+
 	Types   *types.Package // nil when type-checking failed outright
 	Info    *types.Info    // always non-nil after Load; may be partial
 	TypeErr error          // first type-checking error, if any
 
 	imports []string // module-internal import paths
+	checked bool     // type-check attempted (success or not)
+}
+
+// TaggedFile is a parsed file excluded by a custom build tag.
+type TaggedFile struct {
+	File *ast.File
+	Expr constraint.Expr
+}
+
+// loaderCache shares parse and type-check work across Load calls in one
+// process: each package directory is parsed and type-checked at most once,
+// and the stdlib source importer (by far the dominant cost — it compiles
+// the imported standard library from source) is built once. madeusvet
+// invokes Load once per run, so the cache mostly pays off in the analysis
+// test suite, which loads the fixture module dozens of times; CacheStats
+// exposes the counters the timing test asserts on.
+var loaderCache = struct {
+	mu     sync.Mutex
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	byDir  map[string]*Package
+	byPath map[string]*Package
+
+	parsed  int // packages parsed (cache misses)
+	hits    int // packages served from cache
+	checked int // packages type-checked
+}{
+	fset:   token.NewFileSet(),
+	byDir:  make(map[string]*Package),
+	byPath: make(map[string]*Package),
+}
+
+// CacheStats reports how many package loads were served from the
+// process-wide cache versus parsed and type-checked fresh.
+func CacheStats() (parsed, cacheHits, typeChecked int) {
+	loaderCache.mu.Lock()
+	defer loaderCache.mu.Unlock()
+	return loaderCache.parsed, loaderCache.hits, loaderCache.checked
 }
 
 // Load parses and type-checks the packages matched by patterns, rooted at
 // dir (the directory holding go.mod). Patterns follow the go tool's shape:
-// "./..." walks everything; "./internal/wal" is one package. Test files and
-// files excluded by default build tags (notably `invariants`) are skipped —
-// madeusvet checks the production build.
+// "./..." walks everything; "./internal/wal" is one package. Test files are
+// skipped, and files excluded by default build tags (notably `invariants`
+// and `faultinject`) are parsed but withheld from type-checking — madeusvet
+// checks the production build, while tagparity still sees the tagged
+// variants.
 //
-// Type-checking resolves module-internal imports from the loaded set
-// (topological order) and standard-library imports by compiling stdlib
-// source (go/importer "source" mode), so the loader needs no pre-built
-// export data and no external dependencies. A package that fails to
-// type-check is still analyzed with whatever partial info was collected.
+// Module-internal dependencies of the matched packages are loaded and
+// type-checked too (once each, shared through a process-wide cache), so a
+// narrow `madeusvet ./internal/core` run resolves imports exactly like a
+// full `./...` run instead of degrading to AST heuristics. Only the
+// pattern-matched packages are returned. Standard-library imports compile
+// from stdlib source (go/importer "source" mode), so the loader needs no
+// pre-built export data and no external dependencies. A package that fails
+// to type-check is still analyzed with whatever partial info was collected.
 func Load(dir string, patterns ...string) ([]*Package, error) {
+	loaderCache.mu.Lock()
+	defer loaderCache.mu.Unlock()
+
 	dir, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
@@ -90,20 +154,46 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
-	fset := token.NewFileSet()
-	var pkgs []*Package
+	var targets []*Package
+	var loaded []*Package // targets + dependency closure, this call
 	for _, d := range sortedKeys(dirs) {
-		pkg, err := parseDir(fset, d, modRoot, modPath)
+		pkg, err := loadPackage(d, modRoot, modPath)
 		if err != nil {
 			return nil, err
 		}
 		if pkg != nil {
-			pkgs = append(pkgs, pkg)
+			pkg.Target = true
+			targets = append(targets, pkg)
+			loaded = append(loaded, pkg)
 		}
 	}
 
-	typeCheck(fset, modPath, pkgs)
-	return pkgs, nil
+	// Pull in the module-internal dependency closure so every target
+	// type-checks against real signatures. Dependencies parsed here are
+	// cached but not returned.
+	queue := append([]*Package(nil), targets...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, ip := range p.imports {
+			if loaderCache.byPath[ip] != nil {
+				continue
+			}
+			depDir := filepath.Join(modRoot, filepath.FromSlash(strings.TrimPrefix(ip, modPath+"/")))
+			if ip == modPath {
+				depDir = modRoot
+			}
+			dep, err := loadPackage(depDir, modRoot, modPath)
+			if err != nil || dep == nil {
+				continue // missing dep surfaces as a type error on the importer
+			}
+			loaded = append(loaded, dep)
+			queue = append(queue, dep)
+		}
+	}
+
+	typeCheck(loaderCache.fset, modPath, loaded)
+	return targets, nil
 }
 
 func sortedKeys(m map[string]bool) []string {
@@ -113,6 +203,23 @@ func sortedKeys(m map[string]bool) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// loadPackage returns the cached package for dir or parses it fresh.
+// Must hold loaderCache.mu.
+func loadPackage(dir, modRoot, modPath string) (*Package, error) {
+	if p, ok := loaderCache.byDir[dir]; ok {
+		loaderCache.hits++
+		return p, nil
+	}
+	pkg, err := parseDir(loaderCache.fset, dir, modRoot, modPath)
+	if err != nil || pkg == nil {
+		return nil, err
+	}
+	loaderCache.parsed++
+	loaderCache.byDir[dir] = pkg
+	loaderCache.byPath[pkg.Path] = pkg
+	return pkg, nil
 }
 
 // findModule walks up from dir to the enclosing go.mod and returns the
@@ -139,14 +246,17 @@ func findModule(dir string) (root, path string, err error) {
 	}
 }
 
-// parseDir parses the production (non-test, default-tag) files of one
-// directory. It returns nil when the directory holds no such files.
+// parseDir parses the production (non-test) files of one directory, keeping
+// default-tag-excluded files aside as Tagged. It returns nil when the
+// directory holds no production files.
 func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	var files []*ast.File
+	var tagged []TaggedFile
+	constraints := make(map[*ast.File]constraint.Expr)
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
@@ -157,18 +267,36 @@ func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, erro
 		if err != nil {
 			return nil, err
 		}
-		if !defaultTagsSatisfied(string(src)) {
-			continue
-		}
+		expr, satisfied := buildConstraint(string(src))
 		f, err := parser.ParseFile(fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+			if satisfied {
+				return nil, fmt.Errorf("analysis: parse %s: %w", full, err)
+			}
+			continue // a tagged file that does not parse is not our build
 		}
-		files = append(files, f)
+		if satisfied {
+			files = append(files, f)
+			if expr != nil {
+				constraints[f] = expr
+			}
+		} else {
+			tagged = append(tagged, TaggedFile{File: f, Expr: expr})
+		}
 	}
 	if len(files) == 0 {
 		return nil, nil
 	}
+	// Drop tagged files that belong to a different package (e.g.
+	// `//go:build ignore` tool files with package main).
+	pkgName := files[0].Name.Name
+	kept := tagged[:0]
+	for _, tf := range tagged {
+		if tf.File.Name.Name == pkgName {
+			kept = append(kept, tf)
+		}
+	}
+	tagged = kept
 
 	rel, err := filepath.Rel(modRoot, dir)
 	if err != nil {
@@ -178,7 +306,14 @@ func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, erro
 	if rel != "." {
 		path = modPath + "/" + filepath.ToSlash(rel)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files}
+	pkg := &Package{
+		Path:        path,
+		Dir:         dir,
+		Fset:        fset,
+		Files:       files,
+		Tagged:      tagged,
+		Constraints: constraints,
+	}
 	for _, f := range files {
 		for _, imp := range f.Imports {
 			ip, err := strconv.Unquote(imp.Path.Value)
@@ -193,22 +328,22 @@ func parseDir(fset *token.FileSet, dir, modRoot, modPath string) (*Package, erro
 	return pkg, nil
 }
 
-// defaultTagsSatisfied evaluates a file's //go:build (or // +build) line
-// against the default production tag set: GOOS, GOARCH, the compiler, and
-// every supported go1.N release tag — and nothing else, so files gated on
-// custom tags like `invariants` are excluded.
-func defaultTagsSatisfied(src string) bool {
+// buildConstraint extracts a file's //go:build (or // +build) expression and
+// evaluates it against the default production tag set: GOOS, GOARCH, the
+// compiler, and every supported go1.N release tag — and nothing else, so
+// files gated on custom tags like `invariants` report satisfied=false.
+func buildConstraint(src string) (expr constraint.Expr, satisfied bool) {
 	for _, line := range strings.Split(src, "\n") {
 		trimmed := strings.TrimSpace(line)
 		if trimmed == "" || strings.HasPrefix(trimmed, "//") {
-			if expr, err := constraint.Parse(trimmed); err == nil {
-				return expr.Eval(defaultTag)
+			if e, err := constraint.Parse(trimmed); err == nil {
+				return e, e.Eval(defaultTag)
 			}
 			continue
 		}
 		break // first non-comment, non-blank line: constraints must precede it
 	}
-	return true
+	return nil, true
 }
 
 func defaultTag(tag string) bool {
@@ -233,7 +368,6 @@ func defaultTag(tag string) bool {
 // set and everything else from stdlib source.
 type moduleImporter struct {
 	modPath string
-	local   map[string]*Package
 	std     types.ImporterFrom
 }
 
@@ -243,7 +377,7 @@ func (m *moduleImporter) Import(path string) (*types.Package, error) {
 
 func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
 	if path == m.modPath || strings.HasPrefix(path, m.modPath+"/") {
-		p := m.local[path]
+		p := loaderCache.byPath[path]
 		if p == nil || p.Types == nil {
 			return nil, fmt.Errorf("analysis: internal import %q not loaded", path)
 		}
@@ -252,18 +386,14 @@ func (m *moduleImporter) ImportFrom(path, dir string, mode types.ImportMode) (*t
 	return m.std.ImportFrom(path, dir, mode)
 }
 
-// typeCheck type-checks pkgs in dependency order, sharing one importer so
-// stdlib packages are compiled once.
+// typeCheck type-checks the not-yet-checked packages among pkgs in
+// dependency order, sharing the process-wide importer so stdlib packages
+// are compiled once. Must hold loaderCache.mu.
 func typeCheck(fset *token.FileSet, modPath string, pkgs []*Package) {
-	byPath := make(map[string]*Package, len(pkgs))
-	for _, p := range pkgs {
-		byPath[p.Path] = p
+	if loaderCache.std == nil {
+		loaderCache.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	}
-	imp := &moduleImporter{
-		modPath: modPath,
-		local:   byPath,
-		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
-	}
+	imp := &moduleImporter{modPath: modPath, std: loaderCache.std}
 
 	// Topological order over module-internal imports (cycles are a compile
 	// error anyway; visit order falls back to as-listed).
@@ -277,7 +407,7 @@ func typeCheck(fset *token.FileSet, modPath string, pkgs []*Package) {
 		}
 		state[p.Path] = 1
 		for _, dep := range p.imports {
-			if d := byPath[dep]; d != nil {
+			if d := loaderCache.byPath[dep]; d != nil {
 				visit(d)
 			}
 		}
@@ -289,6 +419,11 @@ func typeCheck(fset *token.FileSet, modPath string, pkgs []*Package) {
 	}
 
 	for _, p := range order {
+		if p.checked {
+			continue
+		}
+		p.checked = true
+		loaderCache.checked++
 		info := &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),
@@ -310,4 +445,34 @@ func typeCheck(fset *token.FileSet, modPath string, pkgs []*Package) {
 		p.Types = tpkg
 		p.Info = info
 	}
+}
+
+// depPackages returns the cached module-internal dependency closure of
+// pkgs (excluding pkgs themselves). The call graph uses it so summaries of
+// target packages see through calls into their dependencies.
+func depPackages(pkgs []*Package) []*Package {
+	loaderCache.mu.Lock()
+	defer loaderCache.mu.Unlock()
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	var out []*Package
+	queue := append([]*Package(nil), pkgs...)
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		for _, ip := range p.imports {
+			if seen[ip] {
+				continue
+			}
+			seen[ip] = true
+			if d := loaderCache.byPath[ip]; d != nil {
+				out = append(out, d)
+				queue = append(queue, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
 }

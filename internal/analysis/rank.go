@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The repo's declared lock hierarchy (DESIGN.md §5a/§5f) is expressed as
+// numeric ranks attached to mutex declarations:
+//
+//	mu sync.Mutex //madeusvet:lockrank tenant 20
+//
+// Locks must be acquired in strictly increasing rank order; the lockorder
+// analyzer reports inversions and cycles against these declarations, and
+// holdblock treats every lock with rank >= RankSession as one that must
+// never be held across a (transitively reachable) blocking operation.
+//
+// Rank bands, mirroring the conductor → tenant → engine → mvcc → wal
+// hierarchy:
+//
+//	 1..9   process infrastructure (wire server bookkeeping)
+//	10..19  middleware / conductor / propagator
+//	20..29  tenant critical region, flow-control and propagation bookkeeping
+//	30..39  session/engine layer (RankSession starts here)
+//	40..49  mvcc storage structures
+//	50..59  wal
+const RankSession = 30
+
+// LockRank is one annotated mutex declaration.
+type LockRank struct {
+	Name string
+	Rank int
+	Obj  types.Object // the mutex field or package-level var
+	Pos  token.Pos
+}
+
+// RankTable indexes the lockrank annotations of one Program.
+type RankTable struct {
+	byObj    map[types.Object]LockRank
+	byName   map[string]LockRank
+	problems []Diagnostic // malformed or conflicting annotations
+}
+
+// Rank returns the annotation for a resolved lock object.
+func (t *RankTable) Rank(obj types.Object) (LockRank, bool) {
+	if t == nil || obj == nil {
+		return LockRank{}, false
+	}
+	r, ok := t.byObj[obj]
+	return r, ok
+}
+
+const lockrankDirective = "madeusvet:lockrank"
+
+// collectRanks scans every package's struct fields and package-level vars
+// for //madeusvet:lockrank directives. Annotations on anything that is not
+// a sync.Mutex/RWMutex (or in a package whose type info is unavailable)
+// are recorded as problems for lockorder to report.
+func collectRanks(pkgs []*Package) *RankTable {
+	t := &RankTable{
+		byObj:  make(map[types.Object]LockRank),
+		byName: make(map[string]LockRank),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			collectFileRanks(t, pkg, f)
+		}
+	}
+	return t
+}
+
+func collectFileRanks(t *RankTable, pkg *Package, f *ast.File) {
+	problem := func(pos token.Pos, format string, args ...any) {
+		t.problems = append(t.problems, Diagnostic{
+			Pos:     pkg.Fset.Position(pos),
+			Rule:    LockOrder.Name,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	addRank := func(name *ast.Ident, cg ...*ast.CommentGroup) {
+		dir, pos, ok := lockrankIn(cg)
+		if !ok {
+			return
+		}
+		rankName, rank, err := parseLockrank(dir)
+		if err != "" {
+			problem(pos, "bad lockrank directive: %s (want //madeusvet:lockrank <name> <rank>)", err)
+			return
+		}
+		if pkg.Info == nil {
+			problem(pos, "lockrank %s ignored: package %s has no type information", rankName, pkg.Path)
+			return
+		}
+		obj := pkg.Info.Defs[name]
+		if obj == nil {
+			problem(pos, "lockrank %s ignored: %s did not resolve", rankName, name.Name)
+			return
+		}
+		if !isSyncType(obj.Type(), "Mutex") && !isSyncType(obj.Type(), "RWMutex") {
+			problem(pos, "lockrank %s on %s: not a sync.Mutex/RWMutex", rankName, name.Name)
+			return
+		}
+		if prev, dup := t.byName[rankName]; dup && prev.Rank != rank {
+			problem(pos, "lockrank %s declared twice with different ranks (%d here, %d at %s)",
+				rankName, rank, prev.Rank, pkg.Fset.Position(prev.Pos))
+			return
+		}
+		lr := LockRank{Name: rankName, Rank: rank, Obj: obj, Pos: pos}
+		t.byObj[obj] = lr
+		t.byName[rankName] = lr
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StructType:
+			for _, field := range n.Fields.List {
+				for _, name := range field.Names {
+					addRank(name, field.Doc, field.Comment)
+				}
+			}
+		case *ast.GenDecl:
+			if n.Tok != token.VAR {
+				return true
+			}
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					addRank(name, n.Doc, vs.Doc, vs.Comment)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockrankIn finds a lockrank directive in any of the comment groups and
+// returns its argument text and position.
+func lockrankIn(groups []*ast.CommentGroup) (args string, pos token.Pos, ok bool) {
+	for _, cg := range groups {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if rest, found := strings.CutPrefix(text, lockrankDirective); found {
+				return strings.TrimSpace(rest), c.Pos(), true
+			}
+		}
+	}
+	return "", token.NoPos, false
+}
+
+func parseLockrank(args string) (name string, rank int, errMsg string) {
+	fields := strings.Fields(args)
+	if len(fields) != 2 {
+		return "", 0, "want exactly <name> <rank>"
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return "", 0, "rank " + strconv.Quote(fields[1]) + " is not an integer"
+	}
+	return fields[0], n, ""
+}

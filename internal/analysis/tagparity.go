@@ -1,0 +1,280 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/build/constraint"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// TagParity keeps the zero-overhead build-tag stubs honest: for every
+// custom tag `t` that gates a file pair inside one package (one file
+// `//go:build t`, a sibling `//go:build !t` — the `invariants` and
+// `faultinject` layers), the exported surface of the two variants must be
+// identical. A function added to the tagged variant but not the stub (or
+// with a drifted signature) compiles fine in whichever build you test and
+// then breaks the other — exactly the failure mode the tag-gated layers'
+// "free when disabled" contract cannot tolerate.
+//
+// Compared per exported name: func/method signatures (rendered and
+// whitespace-normalized), type declarations, and the kind plus explicit
+// type of consts/vars. Const/var *values* may differ — `Enabled = true`
+// versus `false` is the whole point of the pair. Files without a build
+// constraint are shared by both variants and trivially in parity. The
+// check is pure AST (tagged variants are never type-checked), so it also
+// runs in loader degraded mode.
+var TagParity = &Analyzer{
+	Name: "tagparity",
+	Doc:  "tag-gated file pairs must export identical names and signatures in tagged and no-tag variants",
+	Run:  runTagParity,
+}
+
+func runTagParity(pass *Pass) {
+	// Group this package's constrained files by gate tag and polarity.
+	type variant struct {
+		pos   map[string]*ast.File // gate tag -> file requiring it
+		neg   map[string]*ast.File // gate tag -> file requiring its absence
+	}
+	v := variant{pos: make(map[string]*ast.File), neg: make(map[string]*ast.File)}
+
+	classify := func(f *ast.File, expr constraint.Expr) {
+		if expr == nil {
+			return
+		}
+		for _, tag := range customTags(expr) {
+			on := evalWithTag(expr, tag, true)
+			off := evalWithTag(expr, tag, false)
+			switch {
+			case on && !off:
+				v.pos[tag] = f
+			case off && !on:
+				v.neg[tag] = f
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		classify(f, pass.Constraints[f])
+	}
+	for _, tf := range pass.TaggedFiles {
+		classify(tf.File, tf.Expr)
+	}
+
+	tags := make([]string, 0, len(v.pos))
+	for tag := range v.pos {
+		if v.neg[tag] != nil {
+			tags = append(tags, tag)
+		}
+	}
+	sort.Strings(tags)
+
+	for _, tag := range tags {
+		comparePair(pass, tag, v.pos[tag], v.neg[tag])
+	}
+}
+
+func comparePair(pass *Pass, tag string, tagged, stub *ast.File) {
+	tsig := exportedSignatures(pass.Fset, tagged)
+	ssig := exportedSignatures(pass.Fset, stub)
+	for _, name := range sortedSigKeys(tsig) {
+		ts := tsig[name]
+		ss, ok := ssig[name]
+		if !ok {
+			pass.Reportf(ts.pos, "exported %s is declared in the %s-tagged variant but missing from the !%s stub — the zero-overhead pair is out of sync",
+				name, tag, tag)
+			continue
+		}
+		if ts.sig != ss.sig {
+			pass.Reportf(ss.pos, "exported %s differs between build variants: tagged (%s) declares `%s`, stub (!%s) declares `%s`",
+				name, tag, ts.sig, tag, ss.sig)
+		}
+	}
+	for _, name := range sortedSigKeys(ssig) {
+		if _, ok := tsig[name]; !ok {
+			pass.Reportf(ssig[name].pos, "exported %s is declared in the !%s stub but missing from the %s-tagged variant",
+				name, tag, tag)
+		}
+	}
+}
+
+type declSig struct {
+	sig string
+	pos token.Pos
+}
+
+func sortedSigKeys(m map[string]declSig) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// exportedSignatures renders every exported top-level declaration of f.
+// Methods key as "Recv.Name"; methods on unexported receivers are skipped
+// (they are not API).
+func exportedSignatures(fset *token.FileSet, f *ast.File) map[string]declSig {
+	out := make(map[string]declSig)
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			key := d.Name.Name
+			if d.Recv != nil && len(d.Recv.List) > 0 {
+				recv := receiverTypeName(d.Recv.List[0].Type)
+				if recv == "" || !ast.IsExported(recv) {
+					continue
+				}
+				key = recv + "." + key
+			}
+			out[key] = declSig{sig: renderFuncSig(fset, d), pos: d.Name.Pos()}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch s := spec.(type) {
+				case *ast.TypeSpec:
+					if !s.Name.IsExported() {
+						continue
+					}
+					out[s.Name.Name] = declSig{sig: "type " + renderNode(fset, sanitizedTypeSpec(s)), pos: s.Name.Pos()}
+				case *ast.ValueSpec:
+					kind := "var"
+					if d.Tok == token.CONST {
+						kind = "const"
+					}
+					typ := ""
+					if s.Type != nil {
+						typ = " " + renderNode(fset, s.Type)
+					}
+					for _, name := range s.Names {
+						if !name.IsExported() {
+							continue
+						}
+						out[name.Name] = declSig{sig: kind + " " + name.Name + typ, pos: name.Pos()}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(e.X)
+	}
+	return ""
+}
+
+// renderFuncSig prints the declaration without body, doc, or parameter
+// names — only types are compared, so renaming a parameter is not drift.
+func renderFuncSig(fset *token.FileSet, d *ast.FuncDecl) string {
+	cp := *d
+	cp.Doc = nil
+	cp.Body = nil
+	cp.Type = stripParamNames(d.Type)
+	if d.Recv != nil {
+		recv := *d.Recv
+		recv.List = stripFieldNames(d.Recv.List)
+		cp.Recv = &recv
+	}
+	return renderNode(fset, &cp)
+}
+
+func stripParamNames(ft *ast.FuncType) *ast.FuncType {
+	cp := *ft
+	if ft.Params != nil {
+		params := *ft.Params
+		params.List = stripFieldNames(ft.Params.List)
+		cp.Params = &params
+	}
+	if ft.Results != nil {
+		results := *ft.Results
+		results.List = stripFieldNames(ft.Results.List)
+		cp.Results = &results
+	}
+	return &cp
+}
+
+// stripFieldNames expands `a, b int` to two anonymous `int` entries so the
+// arity and types compare positionally.
+func stripFieldNames(list []*ast.Field) []*ast.Field {
+	var out []*ast.Field
+	for _, f := range list {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, &ast.Field{Type: f.Type})
+		}
+	}
+	return out
+}
+
+func sanitizedTypeSpec(s *ast.TypeSpec) *ast.TypeSpec {
+	cp := *s
+	cp.Doc = nil
+	cp.Comment = nil
+	return &cp
+}
+
+// renderNode prints an AST node with whitespace normalized to single
+// spaces, so gofmt layout differences never read as drift.
+func renderNode(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, n); err != nil {
+		return ""
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// customTags lists the non-default tags an expression mentions (GOOS,
+// GOARCH, go1.N, etc. are part of the default set and never gate a pair).
+func customTags(expr constraint.Expr) []string {
+	seen := make(map[string]bool)
+	var walk func(e constraint.Expr)
+	walk = func(e constraint.Expr) {
+		switch e := e.(type) {
+		case *constraint.TagExpr:
+			if !defaultTag(e.Tag) && !strings.HasPrefix(e.Tag, "go1.") {
+				seen[e.Tag] = true
+			}
+		case *constraint.NotExpr:
+			walk(e.X)
+		case *constraint.AndExpr:
+			walk(e.X)
+			walk(e.Y)
+		case *constraint.OrExpr:
+			walk(e.X)
+			walk(e.Y)
+		}
+	}
+	walk(expr)
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// evalWithTag evaluates expr with `tag` forced to val and everything else
+// at its default.
+func evalWithTag(expr constraint.Expr, tag string, val bool) bool {
+	return expr.Eval(func(t string) bool {
+		if t == tag {
+			return val
+		}
+		return defaultTag(t)
+	})
+}

@@ -1,0 +1,24 @@
+// Package degraded deliberately fails type-checking: the loader must
+// record the failure and the AST-heuristic rules must still run (pinned by
+// TestLoaderDegradedMode). It is not a golden fixture — no analyzer is
+// named "degraded" — so the golden harness skips it.
+package degraded
+
+import "time"
+
+// loops churns a timer per iteration; timerchurn flags this from the AST
+// alone, with or without type information.
+func loops(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// broken references an undefined identifier — the seeded type error.
+func broken() int {
+	return undefinedIdentifier
+}

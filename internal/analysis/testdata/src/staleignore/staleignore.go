@@ -1,0 +1,32 @@
+// Package staleignore exercises stale-suppression reporting. The directive
+// in liveDirective suppresses a real errdrop finding and must stay silent;
+// the one in deadDirective guards nothing and must itself be reported.
+// TestStaleIgnore pins the exact positions (want markers cannot share a
+// line with a //madeusvet:ignore directive, so this fixture is asserted by
+// a dedicated test instead of the golden harness).
+package staleignore
+
+func commitProbe() error { return nil }
+
+// liveDirective drops a commit-path error on purpose; the directive
+// consumes the errdrop finding and is therefore not stale.
+func liveDirective() {
+	//madeusvet:ignore errdrop fixture: the dropped commit error below is the probe
+	commitProbe()
+}
+
+// deadDirective has nothing to suppress: the error is handled, so the
+// directive is dead weight and staleignore reports it.
+func deadDirective() error {
+	//madeusvet:ignore errdrop fixture: this suppression outlived its finding
+	return commitProbe()
+}
+
+// notYetEligible names a rule outside the enabled set when madeusvet runs
+// with -rules; staleness is only decided when every named rule actually
+// ran. Under the full set this one names a rule that does not exist, so it
+// is never eligible and never reported.
+func notYetEligible() error {
+	//madeusvet:ignore futurerule reserved for a rule this fixture does not ship
+	return commitProbe()
+}

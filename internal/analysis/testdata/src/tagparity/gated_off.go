@@ -1,0 +1,15 @@
+//go:build !parityprobe
+
+package tagparity
+
+// Enabled differs in VALUE between the variants — allowed.
+const Enabled = false
+
+// Probe matches the tagged variant exactly: no finding.
+func Probe() error { return nil }
+
+// Mismatch drifted from the tagged variant's (int) parameter.
+func Mismatch(s string) {} // want
+
+// StubOnly is missing from the parityprobe-tagged variant.
+func StubOnly() {} // want

@@ -1,0 +1,21 @@
+//go:build parityprobe
+
+package tagparity
+
+// Enabled differs in VALUE between the variants — that is the point of the
+// pair and must not be reported.
+const Enabled = true
+
+// Probe matches the stub exactly: no finding.
+func Probe() error { return nil }
+
+// Extra is missing from the !parityprobe stub.
+func Extra() {} // want
+
+// Mismatch drifted: the stub takes a string. Reported at the stub's
+// declaration in gated_off.go.
+func Mismatch(n int) {}
+
+// Hidden is also missing from the stub, but carries a suppression.
+//madeusvet:ignore tagparity seeded drift kept to prove the suppression path
+func Hidden(x int) {}

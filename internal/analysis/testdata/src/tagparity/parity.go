@@ -1,0 +1,10 @@
+// Package tagparity exercises the tagparity analyzer over a tag-gated file
+// pair (gated_on.go requires the parityprobe tag, gated_off.go its
+// absence): each line marked `// want` must produce exactly one finding;
+// unmarked lines none. Only gated_off.go is ever type-checked — the tagged
+// variant is compared by parsing alone.
+package tagparity
+
+// Shared code without a build constraint belongs to both variants and is
+// never compared.
+func shared() {}

@@ -45,12 +45,14 @@ type propagator struct {
 	opTimeout time.Duration
 
 	// conn pool
-	poolMu  sync.Mutex
+	poolMu  sync.Mutex //madeusvet:lockrank conductor-pool 12
 	idle    []*wire.Client
 	created int
 
-	// progress accounting
-	mu      sync.Mutex
+	// progress accounting. A leaf lock: players and the tenant-holding
+	// propagator loop both poll it (stopRequested), so it ranks above the
+	// tenant critical region and nothing is acquired while it is held.
+	mu      sync.Mutex //madeusvet:lockrank propagator-progress 26
 	applied int
 	ops     int
 	stats   PropagationStats
@@ -66,7 +68,7 @@ type propagator struct {
 	// every commit (the naive pthread pattern the paper blames for
 	// B-CON's collapse: "all players compete for the pthread mutex lock
 	// at every commit time").
-	herdMu   sync.Mutex
+	herdMu   sync.Mutex //madeusvet:lockrank bcon-herd 16
 	herdCond *sync.Cond
 	herdSpin time.Duration
 }
@@ -393,7 +395,7 @@ type runState struct {
 	herdGo     bool          // B-CON: set under herdMu
 	done       chan struct{}
 
-	errMu sync.Mutex
+	errMu sync.Mutex //madeusvet:lockrank player-err 18
 	err   error
 }
 

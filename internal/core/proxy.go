@@ -74,7 +74,7 @@ type Middleware struct {
 	opts Options
 	flow *flow.Governor
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex //madeusvet:lockrank middleware 10
 	tenants map[string]*Tenant
 	nodes   map[string]Backend
 

@@ -18,7 +18,7 @@ type Tenant struct {
 	// commits execute under it so that the MLC ordering observed by the
 	// middleware equals the snapshot/commit ordering on the master. It
 	// also guards all fields below.
-	mu   sync.Mutex
+	mu   sync.Mutex //madeusvet:lockrank tenant 20
 	cond *sync.Cond // broadcast on: SSL growth, active-set changes, gate changes
 
 	node Backend // current master node

@@ -57,7 +57,7 @@ type Engine struct {
 	log   *wal.Log
 	slots chan struct{}
 
-	mu  sync.RWMutex
+	mu  sync.RWMutex //madeusvet:lockrank engine 30
 	dbs map[string]*Database
 }
 
@@ -68,7 +68,7 @@ type Database struct {
 
 	mgr *mvcc.Manager
 
-	mu     sync.RWMutex
+	mu     sync.RWMutex //madeusvet:lockrank database 32
 	tables map[string]*mvcc.Table
 
 	// Per-tenant transaction outcomes (monitoring; see DBStats).

@@ -30,7 +30,7 @@ type Limiter struct {
 	tenant string
 	gov    *Governor
 
-	mu      sync.Mutex
+	mu      sync.Mutex //madeusvet:lockrank flow-limiter 22
 	inUse   int
 	waiters []chan struct{} // FIFO; closed channel = slot granted
 }

@@ -22,7 +22,7 @@ var ErrTransferAborted = errors.New("flow: snapshot transfer aborted")
 type TransferBudget struct {
 	capBytes int64 // 0 = unlimited (accounting only)
 
-	mu      sync.Mutex
+	mu      sync.Mutex //madeusvet:lockrank flow-transfer 24
 	used    int64
 	peak    int64
 	waiters []chan struct{}

@@ -20,7 +20,7 @@ type colIndex struct {
 	name string
 	col  int
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex //madeusvet:lockrank mvcc-index 46
 	entries map[sqlmini.Value]map[sqlmini.Value]struct{} // value -> set of PKs
 }
 

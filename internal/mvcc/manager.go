@@ -58,7 +58,7 @@ type Manager struct {
 	// with ErrLockTimeout. Zero selects a 2s default.
 	LockTimeout time.Duration
 
-	mu      sync.RWMutex
+	mu      sync.RWMutex //madeusvet:lockrank mvcc-txn 44
 	nextTxn TxnID
 	lastCSN CSN
 	states  map[TxnID]*txnState

@@ -24,7 +24,7 @@ type version struct {
 // rowChain.mu is held at a time; row-lock *waits* happen on waiter channels
 // with ch.mu released, so mutexes are never held across blocking waits.
 type rowChain struct {
-	mu        sync.Mutex
+	mu        sync.Mutex //madeusvet:lockrank mvcc-row 42
 	versions  []version
 	lockOwner TxnID
 	waiters   []chan struct{}
@@ -35,6 +35,7 @@ type Table struct {
 	Schema *storage.Schema
 
 	mgr  *Manager
+	//madeusvet:lockrank mvcc-table 40
 	mu   sync.Mutex // guards rows map and indexes registry
 	rows map[sqlmini.Value]*rowChain
 

@@ -119,6 +119,7 @@ type Log struct {
 	commits atomic.Uint64
 	fsyncs  atomic.Uint64
 
+	//madeusvet:lockrank wal 50
 	mu       sync.Mutex // serial mode fsync; also guards retained/maxBatch
 	retained []Record
 	maxBatch int
@@ -179,7 +180,7 @@ func (l *Log) Commit() error {
 		l.mu.Lock()
 		// Serial mode models an EXCLUSIVE fsync per commit — holding the
 		// log mutex across it is the modeled cost (B-CON's baseline).
-		//madeusvet:ignore lockdiscipline serial mode holds the log mutex across the modeled fsync by design
+		//madeusvet:ignore lockdiscipline,holdblock serial mode holds the log mutex across the modeled fsync by design
 		l.fsync()
 		l.noteBatch(1)
 		l.mu.Unlock()

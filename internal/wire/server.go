@@ -65,7 +65,7 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 
-	mu     sync.Mutex
+	mu     sync.Mutex //madeusvet:lockrank wire-server 8
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup

@@ -53,3 +53,17 @@ go test -race -count=1 -run 'TestFlow|TestAdmission|TestSSL|TestUnpaced' ./inter
 go test -count=1 -run 'TestHeavyWriteMigrationConvergesWithPacing' ./internal/core/
 go test -tags faultinject -race -count=1 -run 'TestChaosAdmission|TestChaosInjected|TestChaosHungSlave' ./internal/core/
 go test -count=1 -run 'TestFlowDisabledOverhead' .
+
+# Static-analysis gate: the interprocedural checker with every rule enabled
+# (lockorder, holdblock, tagparity, staleignore included — DESIGN.md §5f),
+# its golden fixtures plus loader cache/degraded-mode tests, the tag matrix
+# (every tag-gated variant and the combined build must compile; tagparity
+# keeps the pairs' exported surfaces identical, the matrix keeps them
+# compiling), and a benchrunner -json smoke so the BENCH_*.json baseline
+# path stays alive.
+go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,staleignore ./...
+go test -count=1 ./internal/analysis/
+go build -tags invariants ./...
+go build -tags "invariants faultinject" ./...
+go run ./cmd/benchrunner -exp table2 -quick -json /tmp/bench_smoke.json >/dev/null
+rm -f /tmp/bench_smoke.json
