@@ -12,6 +12,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -19,6 +21,7 @@ import (
 
 	"madeus/internal/cluster"
 	"madeus/internal/engine"
+	"madeus/internal/obs"
 	"madeus/internal/wal"
 )
 
@@ -30,11 +33,12 @@ func (s *stringList) Set(v string) error { *s = append(*s, v); return nil }
 func main() {
 	var dbs stringList
 	var (
-		listen = flag.String("listen", "127.0.0.1:0", "listen address")
-		fsync  = flag.Duration("fsync", 2*time.Millisecond, "simulated WAL fsync latency")
-		stmt   = flag.Duration("stmtcost", 0, "simulated per-statement CPU cost")
-		slots  = flag.Int("slots", 4, "concurrent statement execution slots")
-		serial = flag.Bool("serialcommit", false, "disable group commit (one fsync per commit)")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		fsync     = flag.Duration("fsync", 2*time.Millisecond, "simulated WAL fsync latency")
+		stmt      = flag.Duration("stmtcost", 0, "simulated per-statement CPU cost")
+		slots     = flag.Int("slots", 4, "concurrent statement execution slots")
+		serial    = flag.Bool("serialcommit", false, "disable group commit (one fsync per commit)")
+		debugAddr = flag.String("debug", "", "serve /debug/madeus JSON stats on this address (empty: disabled)")
 	)
 	flag.Var(&dbs, "db", "tenant database to create at startup (repeatable)")
 	flag.Parse()
@@ -63,6 +67,25 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dbnode:", err)
+			os.Exit(1)
+		}
+		// No History: dbnode runs no sampler; the middleware owns the
+		// per-tenant time series.
+		srv := &http.Server{Handler: obs.Handler(obs.Default, obs.Trace, nil)}
+		//madeusvet:ignore goroleak Serve returns ErrServerClosed when the deferred srv.Close runs at shutdown
+		go func() {
+			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "dbnode: debug server:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("dbnode: debug stats at http://%s/debug/madeus\n", ln.Addr())
+	}
+
 	fmt.Printf("dbnode listening on %s (databases: %v, fsync=%v, group commit=%v)\n",
 		node.Addr(), dbs, *fsync, !*serial)
 

@@ -4,15 +4,22 @@
 //	madeusctl -addr 127.0.0.1:6000 add-tenant shop node0
 //	madeusctl -addr 127.0.0.1:6000 migrate shop node1
 //	madeusctl -addr 127.0.0.1:6000 migrate shop node1 B-MIN
+//	madeusctl -addr 127.0.0.1:6000 trace shop
+//	madeusctl -addr 127.0.0.1:6000 events -follow -tenant shop
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"madeus/internal/core"
+	"madeus/internal/engine"
 	"madeus/internal/wire"
 )
 
@@ -38,19 +45,47 @@ func main() {
 			usage()
 		}
 	case "events":
+		// `events -follow` live-tails the trace ring using the event
+		// sequence number as a bookmark; everything else is a one-shot.
+		followEvents(*addr, args[1:])
+		return
+	case "trace":
+		// Merged cross-node timeline for one tenant: the daemon scrapes
+		// every node's trace ring and interleaves it with its own spans.
 		switch len(args) {
-		case 1:
-			cmd = "EVENTS"
 		case 2:
-			cmd = "EVENTS " + args[1]
+			cmd = "TRACE " + args[1]
+		case 3:
+			cmd = fmt.Sprintf("TRACE %s %s", args[1], args[2])
 		default:
 			usage()
 		}
+	case "history":
+		switch {
+		case len(args) == 1:
+			cmd = "HISTORY"
+		case len(args) == 3 && args[1] == "cadence":
+			cmd = "HISTORY CADENCE " + args[2]
+		case len(args) == 2:
+			cmd = "HISTORY " + args[1]
+		case len(args) == 3:
+			cmd = fmt.Sprintf("HISTORY %s %s", args[1], args[2])
+		default:
+			usage()
+		}
+	case "bundle":
+		dumpBundle(*addr, args[1:])
+		return
 	case "add-tenant":
 		if len(args) != 3 {
 			usage()
 		}
 		cmd = fmt.Sprintf("ADD TENANT %s ON %s", args[1], args[2])
+	case "remove-tenant":
+		if len(args) != 2 {
+			usage()
+		}
+		cmd = "REMOVE TENANT " + args[1]
 	case "migrate":
 		switch len(args) {
 		case 3:
@@ -83,18 +118,32 @@ func main() {
 		usage()
 	}
 
-	c, err := wire.Dial(*addr, core.AdminDB)
-	if err != nil {
-		fatal(err)
-	}
+	c := dial(*addr)
 	defer c.Close()
 	res, err := c.Exec(cmd)
 	if err != nil {
 		fatal(err)
 	}
+	printResult(res)
+}
+
+func dial(addr string) *wire.Client {
+	c, err := wire.Dial(addr, core.AdminDB)
+	if err != nil {
+		fatal(err)
+	}
+	return c
+}
+
+func printResult(res *engine.Result) {
 	if len(res.Columns) > 0 {
 		fmt.Println(strings.Join(res.Columns, "\t"))
 	}
+	printRows(res)
+	fmt.Println(res.Tag)
+}
+
+func printRows(res *engine.Result) {
 	for _, row := range res.Rows {
 		cells := make([]string, len(row))
 		for i, v := range row {
@@ -102,7 +151,141 @@ func main() {
 		}
 		fmt.Println(strings.Join(cells, "\t"))
 	}
-	fmt.Println(res.Tag)
+}
+
+// followEvents handles `events [n]` and `events -follow`. The follow mode
+// polls EVENTS SINCE <seq> on one admin session, advancing the bookmark past
+// the highest sequence number seen, and exits cleanly on Ctrl-C.
+func followEvents(addr string, args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	follow := fs.Bool("follow", false, "stream new events until interrupted")
+	interval := fs.Duration("interval", 500*time.Millisecond, "poll interval in follow mode")
+	tenant := fs.String("tenant", "", "only show events for this tenant")
+	if err := fs.Parse(args); err != nil {
+		usage()
+	}
+	rest := fs.Args()
+	if len(rest) > 1 {
+		usage()
+	}
+
+	c := dial(addr)
+	defer c.Close()
+
+	if !*follow {
+		cmd := "EVENTS"
+		if len(rest) == 1 {
+			cmd += " " + rest[0]
+		}
+		res, err := c.Exec(cmd)
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	// Seed the bookmark from everything currently in the ring so the tail
+	// only ever shows events that happen after we attach.
+	var since uint64
+	poll := func() {
+		cmd := "EVENTS SINCE " + strconv.FormatUint(since, 10)
+		if *tenant != "" {
+			cmd += " " + *tenant
+		}
+		res, err := c.Exec(cmd)
+		if err != nil {
+			fatal(err)
+		}
+		printRows(res)
+		for _, row := range res.Rows {
+			if len(row) == 0 {
+				continue
+			}
+			if seq, err := strconv.ParseUint(row[0].String(), 10, 64); err == nil && seq >= since {
+				since = seq + 1
+			}
+		}
+	}
+	// First call fast-forwards the bookmark without printing history.
+	seed := "EVENTS SINCE 0"
+	if *tenant != "" {
+		seed += " " + *tenant
+	}
+	res, err := c.Exec(seed)
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, "\t"))
+	}
+	for _, row := range res.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		if seq, err := strconv.ParseUint(row[0].String(), 10, 64); err == nil && seq >= since {
+			since = seq + 1
+		}
+	}
+
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-sig:
+			return
+		case <-tick.C:
+			poll()
+		}
+	}
+}
+
+// dumpBundle handles `bundle [-o file] [id]`. Without an id it lists stored
+// flight-recorder bundles; with one it fetches the full JSON payload, to
+// stdout or -o <file>.
+func dumpBundle(addr string, args []string) {
+	fs := flag.NewFlagSet("bundle", flag.ExitOnError)
+	out := fs.String("o", "", "write the bundle JSON to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		usage()
+	}
+	rest := fs.Args()
+	if len(rest) > 1 {
+		usage()
+	}
+
+	c := dial(addr)
+	defer c.Close()
+
+	if len(rest) == 0 {
+		res, err := c.Exec("BUNDLE")
+		if err != nil {
+			fatal(err)
+		}
+		printResult(res)
+		return
+	}
+	res, err := c.Exec("BUNDLE " + rest[0])
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows[0]) == 0 {
+		fatal(fmt.Errorf("empty bundle reply"))
+	}
+	// Raw string, not Value.String(): the SQL rendering quotes text cells,
+	// which would corrupt the JSON document.
+	payload := res.Rows[0][0].Str
+	if *out == "" {
+		fmt.Println(payload)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(payload+"\n"), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote bundle %s to %s (%d bytes)\n", rest[0], *out, len(payload)+1)
 }
 
 func usage() {
@@ -111,7 +294,15 @@ commands:
   status                          list tenants, nodes, and migration state
   stats [tenant]                  process-wide metrics, or one tenant's monitor
   events [n]                      tail of the migration event trace (default 50)
+  events -follow [-tenant t] [-interval d]
+                                  live-tail new events until Ctrl-C
+  trace <tenant> [n]              merged cross-node timeline for one tenant
+  history                         per-tenant time-series summary (min/max/avg)
+  history <tenant> [n]            raw samples for one tenant (default 60)
+  history cadence <dur>           retune the sampler cadence (negative: pause)
+  bundle [-o file] [id]           list flight-recorder bundles, or dump one as JSON
   add-tenant <tenant> <node>      provision a tenant on a node
+  remove-tenant <tenant>          drop a tenant from the middleware (not migrating)
   migrate <tenant> <node> [strat] live-migrate (strat: B-ALL B-MIN B-CON Madeus)
   flow                            list backpressure knobs and live counters
   flow set <knob> <value>         retune one backpressure knob at runtime

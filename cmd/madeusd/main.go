@@ -49,6 +49,7 @@ func main() {
 		fsync     = flag.Duration("fsync", 2*time.Millisecond, "fsync latency for -localnode engines")
 		debugAddr = flag.String("debug", "", "serve /debug/madeus JSON stats on this address (empty: disabled)")
 		noFlow    = flag.Bool("no-flow", false, "disable the backpressure/admission layer (flow knobs all zero)")
+		history   = flag.Duration("history", time.Second, "per-tenant time-series sampling cadence (negative: disabled)")
 	)
 	flag.Var(&nodes, "node", "remote DBMS node as name=addr (repeatable)")
 	flag.Var(&localNodes, "localnode", "boot an in-process DBMS node with this name (repeatable)")
@@ -67,6 +68,7 @@ func main() {
 		Players:        *players,
 		CatchupTimeout: *catchup,
 		Flow:           fcfg,
+		HistoryCadence: *history,
 	})
 	if err != nil {
 		fatal(err)
@@ -115,7 +117,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		srv := &http.Server{Handler: obs.Handler(obs.Default, obs.Trace)}
+		srv := &http.Server{Handler: obs.Handler(obs.Default, obs.Trace, obs.Hist)}
 		//madeusvet:ignore goroleak Serve returns ErrServerClosed when the deferred srv.Close runs at shutdown
 		go func() {
 			if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -118,6 +118,7 @@ func All() []*Analyzer {
 		LockOrder,
 		HoldBlock,
 		TagParity,
+		ObsName,
 		StaleIgnore,
 	}
 }

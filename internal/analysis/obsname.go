@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ObsName polices observability identifiers: the name handed to an obs
+// metric constructor (NewCounter, NewGauge, NewGaugeFunc, NewHistogram —
+// package-level or on a Registry) and the event name handed to a trace
+// emission (Tracer.Emit, EmitDur, Start) must be a string literal or a
+// package constant, never built at the call site.
+//
+// The names are the schema of the admin surface: dashboards, verify.sh
+// greps, and the Prometheus exposition all key on them. A name computed
+// with fmt.Sprintf or string concatenation of a variable cannot be grepped
+// for, can collide at runtime (the Registry panics on duplicates), and on
+// the Tracer it allocates on the hot path before the enabled gate is even
+// consulted.
+//
+// Dynamic names have exactly one sanctioned door: Registry.ReplaceGaugeFunc
+// (used for the per-tenant core.tenant.<name>.* gauges), which carries
+// replace-not-panic semantics precisely so runtime-composed names are safe
+// there. Replace*/Unregister* methods are therefore exempt, as is the
+// internal/obs package itself (it manipulates names generically).
+//
+// With type information the check is exact: any expression the type checker
+// constant-folds (literals, consts, concatenations of consts) passes.
+// Degraded packages fall back to an AST heuristic that accepts literals and
+// plain identifiers/selectors.
+var ObsName = &Analyzer{
+	Name: "obsname",
+	Doc:  "obs metric and trace-event names must be string literals or package constants (ReplaceGaugeFunc is the one dynamic-name API)",
+	Run:  runObsName,
+}
+
+// obsNameArg maps the checked obs call names to the index of their name
+// argument: constructors take the metric name first; trace emissions take
+// (tenant, name, ...), so the event name is second.
+var obsNameArg = map[string]int{
+	"NewCounter":   0,
+	"NewGauge":     0,
+	"NewGaugeFunc": 0,
+	"NewHistogram": 0,
+	"Emit":         1,
+	"EmitDur":      1,
+	"Start":        1,
+}
+
+func runObsName(pass *Pass) {
+	if strings.HasSuffix(pass.PkgPath, "internal/obs") {
+		return // the obs package itself handles names generically
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			idx, ok := obsNameArg[sel.Sel.Name]
+			if !ok || len(call.Args) <= idx {
+				return true
+			}
+			if !isObsCall(pass, sel) {
+				return true
+			}
+			arg := call.Args[idx]
+			if isConstantName(pass, arg) {
+				return true
+			}
+			kind := "metric"
+			if idx == 1 {
+				kind = "trace event"
+			}
+			pass.Reportf(arg.Pos(),
+				"%s name passed to %s is computed at the call site; use a string literal or package constant (dynamic names go through Registry.ReplaceGaugeFunc)",
+				kind, sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isObsCall reports whether sel resolves to the obs package: either a
+// package-qualified call (obs.NewCounter) or a method on an obs-declared
+// type (Registry, Tracer, Scope fields included). Without type info it
+// falls back to requiring an `obs`-named qualifier somewhere in the chain.
+func isObsCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	if pass.Info != nil {
+		// Package-qualified function call.
+		if ident, ok := sel.X.(*ast.Ident); ok {
+			if obj, resolved := pass.Info.Uses[ident]; resolved {
+				if pn, isPkg := obj.(*types.PkgName); isPkg {
+					return strings.HasSuffix(pn.Imported().Path(), "internal/obs")
+				}
+			}
+		}
+		// Method call: resolve the receiver's declaring package.
+		if tv, ok := pass.Info.Types[sel.X]; ok && tv.Type != nil {
+			t := tv.Type
+			if ptr, isPtr := t.(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+			}
+			return false
+		}
+		return false
+	}
+	// Degraded: accept `obs.X(...)` and chains routed through an
+	// identifier named obs (obs.Default.NewCounter, obs.Trace.Emit).
+	for x := sel.X; ; {
+		switch v := x.(type) {
+		case *ast.Ident:
+			return v.Name == "obs"
+		case *ast.SelectorExpr:
+			x = v.X
+		default:
+			return false
+		}
+	}
+}
+
+// isConstantName reports whether the type checker folded e to a constant
+// (exact when type info is present), falling back to accepting literals and
+// plain identifier/selector references.
+func isConstantName(pass *Pass, e ast.Expr) bool {
+	if pass.Info != nil {
+		if tv, ok := pass.Info.Types[e]; ok {
+			return tv.Value != nil
+		}
+	}
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		return true
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		_, isIdent := v.X.(*ast.Ident)
+		return isIdent
+	}
+	return false
+}

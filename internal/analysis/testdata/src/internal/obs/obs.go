@@ -1,0 +1,86 @@
+// Package obs is a fixture stand-in for madeus/internal/obs; the obsname
+// analyzer matches it by its "internal/obs" path suffix.
+package obs
+
+import "time"
+
+// Counter is the fixture metric type.
+type Counter struct{}
+
+// Gauge is the fixture gauge type.
+type Gauge struct{}
+
+// GaugeFunc is the fixture callback gauge type.
+type GaugeFunc struct{}
+
+// Histogram is the fixture histogram type.
+type Histogram struct{}
+
+// Registry is the fixture metric registry.
+type Registry struct{}
+
+// NewCounter is the fixture counter constructor.
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+// NewGauge is the fixture gauge constructor.
+func (r *Registry) NewGauge(name, help string) *Gauge { return &Gauge{} }
+
+// NewGaugeFunc is the fixture callback-gauge constructor.
+func (r *Registry) NewGaugeFunc(name, help string, fn func() int64) *GaugeFunc { return &GaugeFunc{} }
+
+// NewHistogram is the fixture histogram constructor.
+func (r *Registry) NewHistogram(name, help string, bounds []int64) *Histogram { return &Histogram{} }
+
+// ReplaceGaugeFunc is the sanctioned dynamic-name API; obsname exempts it.
+func (r *Registry) ReplaceGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	return &GaugeFunc{}
+}
+
+// Unregister is the fixture removal API (exempt: not a constructor).
+func (r *Registry) Unregister(name string) bool { return false }
+
+// Field is the fixture structured trace field.
+type Field struct{}
+
+// F builds a fixture field.
+func F(key string, value any) Field { return Field{} }
+
+// Span is the fixture in-flight trace span.
+type Span struct{}
+
+// End closes the fixture span.
+func (s *Span) End(fields ...Field) {}
+
+// Tracer is the fixture event ring.
+type Tracer struct{}
+
+// Emit records a fixture event.
+func (t *Tracer) Emit(tenant, name string, fields ...Field) {}
+
+// EmitDur records a fixture event with a duration.
+func (t *Tracer) EmitDur(tenant, name string, dur time.Duration, fields ...Field) {}
+
+// Start opens a fixture span.
+func (t *Tracer) Start(tenant, name string, fields ...Field) *Span { return &Span{} }
+
+// Default is the fixture process registry.
+var Default = &Registry{}
+
+// Trace is the fixture process tracer.
+var Trace = &Tracer{}
+
+// NewCounter is the package-level fixture counter constructor.
+func NewCounter(name, help string) *Counter { return Default.NewCounter(name, help) }
+
+// NewGauge is the package-level fixture gauge constructor.
+func NewGauge(name, help string) *Gauge { return Default.NewGauge(name, help) }
+
+// NewGaugeFunc is the package-level fixture callback-gauge constructor.
+func NewGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	return Default.NewGaugeFunc(name, help, fn)
+}
+
+// NewHistogram is the package-level fixture histogram constructor.
+func NewHistogram(name, help string, bounds []int64) *Histogram {
+	return Default.NewHistogram(name, help, bounds)
+}

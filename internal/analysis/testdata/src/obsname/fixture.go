@@ -1,0 +1,65 @@
+// Package obsname exercises the obsname analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none.
+package obsname
+
+import (
+	"fmt"
+	"time"
+
+	"fixture/internal/obs"
+)
+
+// Package constants are the blessed way to name metrics and events.
+const (
+	evMigrate    = "core.migrate"
+	metricPrefix = "wire"
+)
+
+// constantNames passes literals and package consts everywhere — no findings.
+func constantNames(tr *obs.Tracer) {
+	obs.NewCounter("wire.ops", "operations relayed")
+	obs.NewGauge(metricPrefix+".sessions", "open sessions") // const-folded concat
+	obs.Default.NewHistogram("wire.latency", "latency", []int64{1, 2})
+	tr.Emit("tenantA", evMigrate, obs.F("step", 1))
+	tr.EmitDur("tenantA", "wire.exec", time.Second)
+	tr.Start("tenantA", evMigrate).End()
+}
+
+// dynamicTenantIsFine: only the NAME argument is constrained; tenant and
+// field values may be runtime data.
+func dynamicTenantIsFine(tr *obs.Tracer, tenant string) {
+	tr.Emit(tenant, evMigrate, obs.F("tenant", tenant))
+}
+
+// computedConstructorNames build the metric name at the call site.
+func computedConstructorNames(tenant string) {
+	obs.NewCounter("tenant."+tenant+".ops", "per-tenant ops")            // want
+	obs.NewGauge(fmt.Sprintf("tenant.%s.mlc", tenant), "MLC")            // want
+	obs.Default.NewGaugeFunc(name(), "depth", func() int64 { return 0 }) // want
+}
+
+// computedEventNames build the trace-event name at the call site.
+func computedEventNames(tr *obs.Tracer, step int) {
+	tr.Emit("tenantA", fmt.Sprintf("step%d", step))           // want
+	tr.EmitDur("tenantA", "step"+suffix(step), time.Second)   // want
+	obs.Trace.Start("tenantA", "migrate."+suffix(step)).End() // want
+}
+
+// replaceGaugeFuncIsExempt: the one sanctioned dynamic-name door.
+func replaceGaugeFuncIsExempt(tenant string) {
+	obs.Default.ReplaceGaugeFunc("core.tenant."+tenant+".mlc", "MLC", func() int64 { return 0 })
+	obs.Default.Unregister("core.tenant." + tenant + ".mlc")
+}
+
+// lookalike has an Emit method but is not the obs tracer; dynamic names on
+// it are none of obsname's business.
+type lookalike struct{}
+
+func (lookalike) Emit(tenant, name string, extra ...int) {}
+
+func notObs(l lookalike, step int) {
+	l.Emit("tenantA", fmt.Sprintf("step%d", step))
+}
+
+func name() string        { return "dynamic" }
+func suffix(i int) string { return fmt.Sprint(i) }

@@ -26,6 +26,10 @@ func NewHarness(cfg Config, n int) (*Harness, error) {
 	mw, err := core.New(core.Options{
 		Players:        cfg.Players,
 		CatchupTimeout: cfg.CatchupTimeout,
+		// Bench runs are short; sample the per-tenant series an order of
+		// magnitude faster than the production default so the fig7/fig8
+		// history curves have enough points across one migration.
+		HistoryCadence: 100 * time.Millisecond,
 	})
 	if err != nil {
 		return nil, err

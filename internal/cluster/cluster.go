@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"madeus/internal/engine"
+	"madeus/internal/obs"
 	"madeus/internal/wire"
 )
 
@@ -23,6 +24,12 @@ type NodeOptions struct {
 	RTT time.Duration
 	// Listen overrides the default 127.0.0.1:0 listen address.
 	Listen string
+	// Scope overrides the node's observability scope. Defaults to the
+	// process scope — correct for a real one-node-per-process deployment.
+	// Tests that stand several nodes up inside one process give each a
+	// private scope so trace scrapes return per-node (not process-merged)
+	// timelines, exactly as a multi-machine cluster would.
+	Scope *obs.Scope
 }
 
 // Node is one machine: an engine plus its wire server.
@@ -30,8 +37,9 @@ type Node struct {
 	Name   string
 	Engine *engine.Engine
 
-	srv *wire.Server
-	rtt time.Duration
+	srv   *wire.Server
+	rtt   time.Duration
+	scope *obs.Scope
 }
 
 // SysDB is the control database every node carries so that remote
@@ -55,7 +63,22 @@ func NewNode(name string, opts NodeOptions) (*Node, error) {
 		e.Close()
 		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
 	}
-	return &Node{Name: name, Engine: e, srv: srv, rtt: opts.RTT}, nil
+	scope := opts.Scope
+	if scope == nil {
+		scope = obs.Process()
+	}
+	srv.SetScope(scope)
+	return &Node{Name: name, Engine: e, srv: srv, rtt: opts.RTT, scope: scope}, nil
+}
+
+// Scope returns the node's observability scope.
+func (n *Node) Scope() *obs.Scope { return n.scope }
+
+// ScrapeObs returns the node's observability snapshot directly (no wire
+// round trip — the in-process fast path the middleware uses when the node
+// handle lives in the same process).
+func (n *Node) ScrapeObs(since uint64, tenant string, maxEvents int) (*obs.RemoteSnapshot, error) {
+	return n.scope.Snapshot(since, tenant, maxEvents), nil
 }
 
 // BackendName implements the middleware's backend interface.
@@ -103,6 +126,17 @@ func (r *Remote) controlExec(cmd string) error {
 	defer c.Close()
 	_, err = c.Exec(cmd)
 	return err
+}
+
+// ScrapeObs pulls the remote node's observability snapshot over the wire
+// through a short-lived control session.
+func (r *Remote) ScrapeObs(since uint64, tenant string, maxEvents int) (*obs.RemoteSnapshot, error) {
+	c, err := r.Connect(SysDB)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Scrape(since, tenant, maxEvents)
 }
 
 // Addr returns the node's wire address.

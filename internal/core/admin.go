@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"strconv"
 	"strings"
@@ -23,9 +24,16 @@ const AdminDB = "_admin"
 //	                                   are registered at startup)
 //	ADD TENANT <tenant> ON <node>
 //	MIGRATE <tenant> TO <node> [STRATEGY <B-ALL|B-MIN|B-CON|Madeus>]
+//	REMOVE TENANT <tenant>
 //	STATUS
 //	STATS [tenant]
 //	EVENTS [n]
+//	EVENTS SINCE <seq> [tenant]
+//	TRACE <tenant> [n]
+//	HISTORY
+//	HISTORY <tenant> [n]
+//	HISTORY CADENCE <duration>
+//	BUNDLE [id]
 //	FAULT LIST | RESET | SEED <n>
 //	FAULT ENABLE <site> <ERROR|DROP|HANG> [times]
 //	FAULT ENABLE <site> DELAY <duration> [times]
@@ -118,6 +126,29 @@ func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
 		}
 		return nil, fmt.Errorf("core: usage: STATS [tenant]")
 
+	case len(fields) >= 2 && upper[0] == "REMOVE" && upper[1] == "TENANT":
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("core: usage: REMOVE TENANT <tenant>")
+		}
+		if err := a.mw.RemoveTenant(fields[2]); err != nil {
+			return nil, err
+		}
+		return &engine.Result{Tag: "REMOVE TENANT"}, nil
+
+	case len(fields) >= 2 && upper[0] == "EVENTS" && upper[1] == "SINCE":
+		if len(fields) != 3 && len(fields) != 4 {
+			return nil, fmt.Errorf("core: usage: EVENTS SINCE <seq> [tenant]")
+		}
+		seq, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: usage: EVENTS SINCE <seq> [tenant]")
+		}
+		tenant := ""
+		if len(fields) == 4 {
+			tenant = fields[3]
+		}
+		return renderEvents(obs.Trace.Since(seq, tenant)), nil
+
 	case len(fields) >= 1 && upper[0] == "EVENTS":
 		n := 50
 		if len(fields) == 2 {
@@ -130,6 +161,37 @@ func (a *adminConn) Exec(cmd string) (*engine.Result, error) {
 			return nil, fmt.Errorf("core: usage: EVENTS [n]")
 		}
 		return a.execEvents(n)
+
+	case len(fields) >= 1 && upper[0] == "TRACE":
+		n := 0
+		switch len(fields) {
+		case 2:
+		case 3:
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("core: usage: TRACE <tenant> [n] (n > 0)")
+			}
+			n = v
+		default:
+			return nil, fmt.Errorf("core: usage: TRACE <tenant> [n]")
+		}
+		return a.execTrace(fields[1], n)
+
+	case len(fields) >= 1 && upper[0] == "HISTORY":
+		return a.execHistory(fields, upper)
+
+	case len(fields) >= 1 && upper[0] == "BUNDLE":
+		switch len(fields) {
+		case 1:
+			return a.execBundleList()
+		case 2:
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id <= 0 {
+				return nil, fmt.Errorf("core: usage: BUNDLE [id] (id > 0)")
+			}
+			return a.execBundleGet(id)
+		}
+		return nil, fmt.Errorf("core: usage: BUNDLE [id]")
 
 	case len(fields) >= 1 && upper[0] == "FAULT":
 		return a.execFault(fields, upper)
@@ -305,32 +367,167 @@ func (a *adminConn) execTenantStats(tenant string) (*engine.Result, error) {
 	return res, nil
 }
 
-// execEvents renders the tail of the migration event trace (EVENTS [n]).
-func (a *adminConn) execEvents(n int) (*engine.Result, error) {
+// eventDetail renders an event's duration and fields as one "k=v ..."
+// string (the detail column of EVENTS/TRACE rows).
+func eventDetail(e obs.Event) string {
+	var detail strings.Builder
+	if e.Dur > 0 {
+		fmt.Fprintf(&detail, "dur=%v", e.Dur)
+	}
+	for _, f := range e.Fields {
+		if detail.Len() > 0 {
+			detail.WriteByte(' ')
+		}
+		fmt.Fprintf(&detail, "%s=%s", f.Key, f.Value)
+	}
+	return detail.String()
+}
+
+// renderEvents builds the EVENTS result rows for an event slice.
+func renderEvents(events []obs.Event) *engine.Result {
 	res := &engine.Result{
 		Columns: []string{"seq", "at", "tenant", "event", "detail"},
 		Tag:     "EVENTS",
 	}
-	for _, e := range obs.Trace.Last(n) {
-		var detail strings.Builder
-		if e.Dur > 0 {
-			fmt.Fprintf(&detail, "dur=%v", e.Dur)
-		}
-		for _, f := range e.Fields {
-			if detail.Len() > 0 {
-				detail.WriteByte(' ')
-			}
-			fmt.Fprintf(&detail, "%s=%s", f.Key, f.Value)
-		}
+	for _, e := range events {
 		res.Rows = append(res.Rows, []sqlmini.Value{
 			sqlmini.NewInt(int64(e.Seq)),
 			sqlmini.NewText(e.At.Format("15:04:05.000")),
 			sqlmini.NewText(e.Tenant),
 			sqlmini.NewText(e.Name),
-			sqlmini.NewText(detail.String()),
+			sqlmini.NewText(eventDetail(e)),
+		})
+	}
+	return res
+}
+
+// execEvents renders the tail of the migration event trace (EVENTS [n]).
+func (a *adminConn) execEvents(n int) (*engine.Result, error) {
+	return renderEvents(obs.Trace.Last(n)), nil
+}
+
+// execTrace renders the merged cross-process timeline for one tenant
+// (TRACE <tenant> [n]): middleware events plus every scrapable node's,
+// source- and skew-annotated, ordered on the middleware clock.
+func (a *adminConn) execTrace(tenant string, n int) (*engine.Result, error) {
+	if _, ok := a.mw.Tenant(tenant); !ok {
+		return nil, fmt.Errorf("core: unknown tenant %q", tenant)
+	}
+	res := &engine.Result{
+		Columns: []string{"source", "skew", "seq", "at", "tenant", "event", "detail"},
+		Tag:     "TRACE",
+	}
+	for _, e := range a.mw.Timeline(tenant, n) {
+		res.Rows = append(res.Rows, []sqlmini.Value{
+			sqlmini.NewText(e.Source),
+			sqlmini.NewText(e.Skew.Round(time.Microsecond).String()),
+			sqlmini.NewInt(int64(e.Seq)),
+			sqlmini.NewText(e.AdjustedAt().Format("15:04:05.000")),
+			sqlmini.NewText(e.Tenant),
+			sqlmini.NewText(e.Name),
+			sqlmini.NewText(eventDetail(e.Event)),
 		})
 	}
 	return res, nil
+}
+
+// execHistory serves the time-series surface: HISTORY summarizes every
+// tenant's ring, HISTORY <tenant> [n] dumps raw samples, HISTORY CADENCE
+// retunes the sampler.
+func (a *adminConn) execHistory(fields, upper []string) (*engine.Result, error) {
+	switch {
+	case len(fields) == 1:
+		res := &engine.Result{
+			Columns: []string{"tenant", "samples", "lag_avg", "debt_avg", "ops_s_avg", "ops_s_max", "pace_avg", "sessions_max"},
+			Tag:     "HISTORY",
+		}
+		for _, tenant := range obs.Hist.Tenants() {
+			st := obs.Hist.Stats(tenant, 0)
+			res.Rows = append(res.Rows, []sqlmini.Value{
+				sqlmini.NewText(tenant),
+				sqlmini.NewInt(int64(st.Count)),
+				sqlmini.NewFloat(st.Lag.Avg),
+				sqlmini.NewFloat(st.Debt.Avg),
+				sqlmini.NewFloat(st.OpsPerSec.Avg),
+				sqlmini.NewInt(st.OpsPerSec.Max),
+				sqlmini.NewText(time.Duration(st.PaceNs.Avg).Round(time.Microsecond).String()),
+				sqlmini.NewInt(st.Sessions.Max),
+			})
+		}
+		return res, nil
+
+	case len(fields) == 3 && upper[1] == "CADENCE":
+		d, err := time.ParseDuration(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("core: bad HISTORY CADENCE duration %q: %v", fields[2], err)
+		}
+		a.mw.SetHistoryCadence(d)
+		return &engine.Result{Tag: "HISTORY"}, nil
+
+	case len(fields) == 2 || len(fields) == 3:
+		n := 60
+		if len(fields) == 3 {
+			v, err := strconv.Atoi(fields[2])
+			if err != nil || v <= 0 {
+				return nil, fmt.Errorf("core: usage: HISTORY <tenant> [n] (n > 0)")
+			}
+			n = v
+		}
+		res := &engine.Result{
+			Columns: []string{"at", "lag", "debt", "ops_s", "pace", "ssl_bytes", "sessions"},
+			Tag:     "HISTORY",
+		}
+		for _, s := range obs.Hist.Last(fields[1], n) {
+			res.Rows = append(res.Rows, []sqlmini.Value{
+				sqlmini.NewText(s.At.Format("15:04:05.000")),
+				sqlmini.NewInt(s.Lag),
+				sqlmini.NewInt(s.Debt),
+				sqlmini.NewFloat(s.OpsPerSec),
+				sqlmini.NewText(s.PaceDelay.Round(time.Microsecond).String()),
+				sqlmini.NewInt(s.SSLBytes),
+				sqlmini.NewInt(s.Sessions),
+			})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("core: usage: HISTORY | HISTORY <tenant> [n] | HISTORY CADENCE <duration>")
+}
+
+// execBundleList renders the flight recorder's retained bundles.
+func (a *adminConn) execBundleList() (*engine.Result, error) {
+	res := &engine.Result{
+		Columns: []string{"id", "at", "tenant", "reason", "events", "history"},
+		Tag:     "BUNDLE",
+	}
+	for _, b := range obs.Flight.Bundles() {
+		res.Rows = append(res.Rows, []sqlmini.Value{
+			sqlmini.NewInt(int64(b.ID)),
+			sqlmini.NewText(b.At.Format("15:04:05.000")),
+			sqlmini.NewText(b.Tenant),
+			sqlmini.NewText(b.Reason),
+			sqlmini.NewInt(int64(len(b.Events))),
+			sqlmini.NewInt(int64(len(b.History))),
+		})
+	}
+	return res, nil
+}
+
+// execBundleGet dumps one bundle as a single JSON value — the payload
+// `madeusctl bundle -o` writes to a file for offline analysis.
+func (a *adminConn) execBundleGet(id int) (*engine.Result, error) {
+	b, ok := obs.Flight.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("core: no flight bundle %d (evicted or never captured)", id)
+	}
+	body, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("core: encode bundle %d: %w", id, err)
+	}
+	return &engine.Result{
+		Columns: []string{"bundle"},
+		Rows:    [][]sqlmini.Value{{sqlmini.NewText(string(body))}},
+		Tag:     "BUNDLE",
+	}, nil
 }
 
 // ParseStrategy converts a strategy name (as printed by String) to its

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"madeus/internal/engine"
 	"madeus/internal/obs"
@@ -179,5 +181,132 @@ func TestParseStrategy(t *testing.T) {
 		if err != nil || got != s {
 			t.Errorf("round trip %v failed: %v %v", s, got, err)
 		}
+	}
+}
+
+// TestAdminScopeCommands drives the madeusscope admin surface end to end:
+// EVENTS SINCE bookmarks, the merged TRACE view, the HISTORY family, the
+// flight-recorder BUNDLE commands, and REMOVE TENANT teardown.
+func TestAdminScopeCommands(t *testing.T) {
+	rig := newRig(t, 2, engine.Options{})
+	admin := rig.connect(t, AdminDB)
+	defer admin.Close()
+
+	tenant := "adminscope"
+	if _, err := admin.Exec("ADD TENANT " + tenant + " ON node0"); err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Hist.Drop(tenant)
+	c := rig.connect(t, tenant)
+	mustExecAll(t, c, "CREATE TABLE t (id INT PRIMARY KEY)", "INSERT INTO t (id) VALUES (1)")
+	c.Close()
+	if _, err := admin.Exec("MIGRATE " + tenant + " TO node1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// EVENTS SINCE: a bookmark past the ring's head returns nothing; a
+	// zero bookmark returns the migration's events for the tenant.
+	res, err := admin.Exec("EVENTS SINCE 0 " + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("EVENTS SINCE 0 returned no rows after a migration")
+	}
+	lastSeq := res.Rows[len(res.Rows)-1][0].Int
+	res, err = admin.Exec(fmt.Sprintf("EVENTS SINCE %d %s", lastSeq+1, tenant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatalf("EVENTS SINCE past the head returned %d rows", len(res.Rows))
+	}
+
+	// TRACE: merged timeline with the step spans.
+	res, err = admin.Exec("TRACE " + tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Columns, ","); got != "source,skew,seq,at,tenant,event,detail" {
+		t.Fatalf("TRACE columns = %q", got)
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[row[5].Str] = true
+	}
+	for _, want := range []string{"migrate.begin", "step1.mts", "migrate.end"} {
+		if !names[want] {
+			t.Fatalf("TRACE missing %q; events: %v", want, names)
+		}
+	}
+	if _, err := admin.Exec("TRACE nobody"); err == nil {
+		t.Fatal("TRACE on unknown tenant must error")
+	}
+
+	// HISTORY: force one sample via a fast cadence, then read both views.
+	if _, err := admin.Exec("HISTORY CADENCE 10ms"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(obs.Hist.Last(tenant, -1)) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no history sample after CADENCE 10ms")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res, err = admin.Exec("HISTORY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range res.Rows {
+		if row[0].Str == tenant {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("HISTORY summary misses %q: %v", tenant, res.Rows)
+	}
+	res, err = admin.Exec("HISTORY " + tenant + " 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 || len(res.Rows) > 5 {
+		t.Fatalf("HISTORY %s 5 returned %d rows", tenant, len(res.Rows))
+	}
+	if _, err := admin.Exec("HISTORY CADENCE nonsense"); err == nil {
+		t.Fatal("bad cadence must error")
+	}
+
+	// BUNDLE: list and fetch a capture.
+	obs.Flight.Reset()
+	id := obs.Flight.Capture(obs.Bundle{Tenant: tenant, Reason: "test capture"})
+	res, err = admin.Exec("BUNDLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][2].Str != tenant {
+		t.Fatalf("BUNDLE list = %v", res.Rows)
+	}
+	res, err = admin.Exec(fmt.Sprintf("BUNDLE %d", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Rows[0][0].Str, `"reason": "test capture"`) {
+		t.Fatalf("BUNDLE %d payload = %q", id, res.Rows[0][0].Str)
+	}
+	if _, err := admin.Exec("BUNDLE 99999"); err == nil {
+		t.Fatal("unknown bundle id must error")
+	}
+
+	// REMOVE TENANT tears the tenant down.
+	if _, err := admin.Exec("REMOVE TENANT " + tenant); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rig.mw.Tenant(tenant); ok {
+		t.Fatal("tenant survived REMOVE TENANT")
+	}
+	if _, err := admin.Exec("REMOVE TENANT " + tenant); err == nil {
+		t.Fatal("removing a removed tenant must error")
 	}
 }

@@ -1,0 +1,105 @@
+//go:build faultinject
+
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"madeus/internal/engine"
+	"madeus/internal/fault"
+	"madeus/internal/obs"
+)
+
+// TestChaosFlightRecorder kills a migration at Step 3 and checks the
+// flight recorder froze a diagnostic bundle at rollback: the reason names
+// the failing step, the detail carries the migration identity and fault
+// state, and the event tail includes the rollback itself.
+func TestChaosFlightRecorder(t *testing.T) {
+	t.Cleanup(fault.Reset)
+	t.Cleanup(obs.Flight.Reset)
+	rig := newRig(t, 2, engine.Options{})
+	tenant := "flightrec"
+	rig.provision(t, tenant, 120)
+
+	// Writes keep flowing so Step 3 has syncset operations to propagate —
+	// the armed failpoint sits on the propagation path.
+	stop := make(chan struct{})
+	done := make(chan int, 1)
+	go loadgen(t, rig, tenant, 0, 3*time.Millisecond, stop, done)
+	time.Sleep(30 * time.Millisecond)
+
+	before := obs.Flight.Len()
+	fault.Enable(faultStep3Propagate, fault.Policy{Times: 1})
+	rep, err := rig.mw.Migrate(tenant, "node1", MigrateOptions{Strategy: Madeus})
+	fault.Reset()
+	close(stop)
+	<-done
+
+	if err == nil {
+		t.Fatal("migration succeeded; want the injected step3 failure")
+	}
+	if rep == nil || !rep.Failed || rep.RollbackStep != "step3.propagate" {
+		t.Fatalf("rollback report = %+v, want failure at step3.propagate", rep)
+	}
+
+	bundles := obs.Flight.Bundles()
+	if len(bundles) != before+1 {
+		t.Fatalf("flight recorder holds %d bundles, want %d (one new capture)", len(bundles), before+1)
+	}
+	b := bundles[len(bundles)-1]
+	if b.Tenant != tenant {
+		t.Fatalf("bundle tenant = %q, want %q", b.Tenant, tenant)
+	}
+	if !strings.Contains(b.Reason, "step3.propagate") {
+		t.Fatalf("bundle reason %q does not name the failing step", b.Reason)
+	}
+	detail := map[string]string{}
+	for _, f := range b.Detail {
+		detail[f.Key] = f.Value
+	}
+	for _, key := range []string{"step", "err", "source", "dest", "mts", "span", "flow.sessions"} {
+		if _, ok := detail[key]; !ok {
+			t.Fatalf("bundle detail missing %q: %v", key, b.Detail)
+		}
+	}
+	if detail["step"] != "step3.propagate" || detail["dest"] != "node1" {
+		t.Fatalf("bundle detail = %v, want step3.propagate to node1", detail)
+	}
+	// The fault registry state at capture time must show the armed site.
+	if !strings.Contains(detail["fault.sites"], faultStep3Propagate) {
+		t.Fatalf("bundle fault.sites = %q, want %q listed", detail["fault.sites"], faultStep3Propagate)
+	}
+	if len(b.Events) == 0 {
+		t.Fatal("bundle carries no event tail")
+	}
+	sawRollback := false
+	for _, e := range b.Events {
+		if e.Name == "migrate.rollback" {
+			sawRollback = true
+		}
+	}
+	if !sawRollback {
+		t.Fatalf("bundle event tail lacks migrate.rollback: %v", b.Events)
+	}
+	if len(b.Metrics) == 0 {
+		t.Fatal("bundle carries no registry snapshot")
+	}
+
+	// The capture is itself announced on the trace, pointing at the bundle.
+	found := false
+	for _, e := range obs.Trace.Since(0, tenant) {
+		if e.Name == obsEvFlightCapture {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no flight.capture event on the tenant trace")
+	}
+
+	// The tenant must be fully recovered: a follow-up migration succeeds.
+	if _, err := rig.mw.Migrate(tenant, "node1", MigrateOptions{Strategy: Madeus}); err != nil {
+		t.Fatalf("remigration after rollback failed: %v", err)
+	}
+}

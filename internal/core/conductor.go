@@ -44,6 +44,11 @@ type propagator struct {
 	// abort); 0 disables the bound.
 	opTimeout time.Duration
 
+	// trace is the migration's wire trace context (nil when obs is off);
+	// every pooled destination connection carries it so the slave-side
+	// replay traffic is attributable to the migration.
+	trace *wire.TraceContext
+
 	// conn pool
 	poolMu  sync.Mutex //madeusvet:lockrank conductor-pool 12
 	idle    []*wire.Client
@@ -75,7 +80,7 @@ type propagator struct {
 
 // startPropagation launches Step 3. mts is the migration timestamp: the MLC
 // value at the snapshot; the first commit to replay has ETS == mts.
-func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, mts uint64, herdSpin, opTimeout time.Duration) *propagator {
+func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, mts uint64, herdSpin, opTimeout time.Duration, trace *wire.TraceContext) *propagator {
 	p := &propagator{
 		t:         t,
 		dest:      dest,
@@ -84,6 +89,7 @@ func startPropagation(t *Tenant, dest Backend, strategy Strategy, maxConns int, 
 		mts:       mts,
 		herdSpin:  herdSpin,
 		opTimeout: opTimeout,
+		trace:     trace,
 		abort:     make(chan struct{}),
 		done:      make(chan struct{}),
 	}
@@ -258,6 +264,9 @@ func (p *propagator) getConn() (*wire.Client, error) {
 	}
 	if p.opTimeout > 0 {
 		c.SetOpTimeout(p.opTimeout)
+	}
+	if p.trace != nil {
+		c.SetTraceContext(p.trace)
 	}
 	return c, nil
 }

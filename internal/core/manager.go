@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/fault"
@@ -89,7 +90,16 @@ type MigrateOptions struct {
 	// the last row arrived. Kept for the benchrunner `step1` ablation and
 	// as an escape hatch.
 	MonolithicDump bool
+
+	// trace is the migration's wire trace context, set by Migrate once the
+	// MTS is known and applied by connectRetry to every destination session
+	// the migration itself opens (restore, propagation, promotion probe).
+	// Unexported: callers cannot fabricate one.
+	trace *wire.TraceContext
 }
+
+// migSpanSeq assigns each migration attempt a process-unique span id.
+var migSpanSeq atomic.Uint64
 
 // Report describes a completed (or failed) migration.
 type Report struct {
@@ -110,6 +120,12 @@ type Report struct {
 
 	// MTS is the migration timestamp: the MLC at the snapshot.
 	MTS uint64
+
+	// Span is the middleware-assigned id of this migration attempt: the
+	// wire trace context carries it, so dbnode-side events stamped with
+	// the same span are THIS attempt's work (a retried migration gets a
+	// fresh span under the same tenant).
+	Span uint64
 
 	// SuspensionWindow is the Step-4 interval during which new customer
 	// transactions were gated (suspend → drain → switch → resume): the
@@ -240,9 +256,11 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	// Bookmark the tracer so the report's Timeline carries exactly this
 	// migration's events.
 	seq0 := obs.Trace.Seq()
+	rep.Span = migSpanSeq.Add(1)
 	obsMigStarted.Inc()
 	obs.Trace.Emit(tenantName, "migrate.begin",
-		obs.F("source", rep.Source), obs.F("dest", destName), obs.F("strategy", opts.Strategy))
+		obs.F("source", rep.Source), obs.F("dest", destName),
+		obs.F("strategy", opts.Strategy), obs.F("span", rep.Span))
 
 	// Capture starts before the snapshot so operations racing the dump
 	// are saved (Step 1: "Madeus saves the operations as a syncset").
@@ -271,6 +289,9 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		obsMigRollbacks.Inc()
 		obs.Trace.Emit(tenantName, "migrate.rollback", obs.F("step", step), obs.F("err", err))
 		rep.Timeline = obs.Trace.Since(seq0, tenantName)
+		// Freeze the flight-recorder bundle AFTER the timeline so the
+		// bundle's event tail includes the rollback event itself.
+		m.captureFlight(t, rep, step, err)
 		// Discard the partial slaves, if any.
 		for _, sl := range slaves {
 			dropDatabase(sl, tenantName)
@@ -310,7 +331,17 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 		return fail("step1.snapshot", err)
 	}
 	rep.MTS = mts
-	obs.Trace.Emit(tenantName, "step1.mts", obs.F("mts", mts))
+	obs.Trace.Emit(tenantName, "step1.mts", obs.F("mts", mts), obs.F("span", rep.Span))
+	// Cross-process trace context: from here on, every operation the
+	// migration itself issues — the dump stream on this control session,
+	// restores, propagation replays, the promotion probe — carries the
+	// migration's MTS and span, so dbnode-side wire events are attributable
+	// to this attempt. Gated on obs: disabled observability means plain
+	// frames and zero overhead.
+	if obs.On() {
+		opts.trace = &wire.TraceContext{Tenant: tenantName, MTS: mts, Span: rep.Span}
+		ctl.SetTraceContext(opts.trace)
+	}
 	t.setGate(false) // customers resume while the dump streams
 
 	if ferr := fault.Inject(faultStep1Dump); ferr != nil {
@@ -409,7 +440,7 @@ func (m *Middleware) Migrate(tenantName, destName string, opts MigrateOptions) (
 	}
 	props := make(map[Backend]*propagator, len(slaves))
 	for _, sl := range slaves {
-		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin, opts.OpTimeout)
+		props[sl] = startPropagation(t, sl, opts.Strategy, opts.Players, mts, herdSpin, opts.OpTimeout, opts.trace)
 		obs.Trace.Emit(tenantName, "step3.slave.begin", obs.F("slave", sl.BackendName()))
 	}
 	t.setProgress("step3.propagate", props[slaves[0]])
@@ -677,6 +708,9 @@ func connectRetry(node Backend, tenant, site string, opts MigrateOptions) (*wire
 		if err == nil {
 			if opts.OpTimeout > 0 {
 				c.SetOpTimeout(opts.OpTimeout)
+			}
+			if opts.trace != nil {
+				c.SetTraceContext(opts.trace)
 			}
 			return c, nil
 		}

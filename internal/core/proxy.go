@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/cluster"
@@ -48,6 +49,11 @@ type Options struct {
 	// New. The zero value disables the whole layer; flow.DefaultConfig()
 	// is the calibrated production set. Runtime-tunable via FLOW SET.
 	Flow flow.Config
+	// HistoryCadence is the sampling interval of the per-tenant time-series
+	// history (lag, debt, ops/s, pace delay, SSL bytes, sessions) recorded
+	// into obs.Hist. Defaults to 1s; negative disables the sampler.
+	// Runtime-tunable via the admin HISTORY CADENCE command.
+	HistoryCadence time.Duration
 }
 
 // Backend is a DBMS node as the middleware sees it: a name, per-database
@@ -79,6 +85,13 @@ type Middleware struct {
 	nodes   map[string]Backend
 
 	srv *wire.Server
+
+	// History sampler (scope.go): cadence is atomic so the admin HISTORY
+	// CADENCE command retunes a running loop without locks.
+	sampleCadence atomic.Int64 // nanoseconds; <= 0 pauses sampling
+	sampleStop    chan struct{}
+	sampleDone    chan struct{}
+	closeOnce     sync.Once
 }
 
 // New starts a middleware instance with its customer-facing listener.
@@ -110,25 +123,39 @@ func New(opts Options) (*Middleware, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Middleware{
-		opts:    opts,
-		flow:    gov,
-		tenants: make(map[string]*Tenant),
-		nodes:   make(map[string]Backend),
+	if opts.HistoryCadence == 0 {
+		opts.HistoryCadence = time.Second
 	}
+	m := &Middleware{
+		opts:       opts,
+		flow:       gov,
+		tenants:    make(map[string]*Tenant),
+		nodes:      make(map[string]Backend),
+		sampleStop: make(chan struct{}),
+		sampleDone: make(chan struct{}),
+	}
+	m.sampleCadence.Store(int64(opts.HistoryCadence))
 	srv, err := wire.Listen(opts.ListenAddr, m)
 	if err != nil {
 		return nil, err
 	}
 	m.srv = srv
+	go m.sampleLoop()
 	return m, nil
 }
 
 // Addr is the customer-facing address.
 func (m *Middleware) Addr() string { return m.srv.Addr() }
 
-// Close stops the customer-facing server. Nodes are owned by the caller.
-func (m *Middleware) Close() { m.srv.Close() }
+// Close stops the customer-facing server and the history sampler. Nodes
+// are owned by the caller.
+func (m *Middleware) Close() {
+	m.closeOnce.Do(func() {
+		close(m.sampleStop)
+		<-m.sampleDone
+	})
+	m.srv.Close()
+}
 
 // AddNode registers a DBMS node with the middleware.
 func (m *Middleware) AddNode(n Backend) {
@@ -162,7 +189,31 @@ func (m *Middleware) AddTenant(tenant, nodeName string) error {
 		return fmt.Errorf("core: node %q has no database %q: %w", nodeName, tenant, err)
 	}
 	probe.Close()
-	m.tenants[tenant] = NewTenant(tenant, node, m.flow)
+	t := NewTenant(tenant, node, m.flow)
+	t.registerObs()
+	m.tenants[tenant] = t
+	return nil
+}
+
+// RemoveTenant deregisters a tenant from the middleware: routing stops,
+// its dynamic gauges and history series are dropped, and its admission
+// limiter is released. The tenant database itself is untouched — removal
+// is a middleware bookkeeping operation, not a DROP DATABASE. Fails while
+// a migration is in flight.
+func (m *Middleware) RemoveTenant(tenant string) error {
+	m.mu.Lock()
+	t, ok := m.tenants[tenant]
+	if !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("core: unknown tenant %q", tenant)
+	}
+	if t.State() == StateMigrating {
+		m.mu.Unlock()
+		return fmt.Errorf("core: tenant %q is migrating; cannot remove", tenant)
+	}
+	delete(m.tenants, tenant)
+	m.mu.Unlock()
+	t.teardownObs()
 	return nil
 }
 
@@ -222,6 +273,7 @@ func (m *Middleware) Connect(database string) (wire.Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.sessions.Add(1)
 	return &worker{mw: m, tenant: t, release: release}, nil
 }
 
@@ -277,6 +329,7 @@ func (w *worker) relay(sql string) (*engine.Result, error) {
 // Exec processes one customer operation (the worker body).
 func (w *worker) Exec(sql string) (*engine.Result, error) {
 	obsWorkerOps.Inc()
+	w.tenant.ops.Add(1)
 	class, err := sqlmini.ClassifyQuery(sql)
 	if err != nil {
 		// Meta commands (DUMP, CREATE DATABASE, ...): relay verbatim.
@@ -506,5 +559,6 @@ func (w *worker) Close() {
 	if w.release != nil {
 		w.release()
 		w.release = nil
+		w.tenant.sessions.Add(-1)
 	}
 }

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"madeus/internal/cluster"
+	"madeus/internal/engine"
+	"madeus/internal/obs"
+	"madeus/internal/testutil"
+	"madeus/internal/wire"
+)
+
+// newScopedRig is newRig with a private observability scope per node, so
+// node-side trace events land in per-node rings and the middleware must
+// actually scrape them over the backend — the same shape as separate
+// dbnode processes.
+func newScopedRig(t *testing.T, nNodes int) *testRig {
+	t.Helper()
+	testutil.CheckGoroutines(t)
+	mw, err := New(Options{CatchupTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mw.Close)
+	rig := &testRig{mw: mw}
+	for i := 0; i < nNodes; i++ {
+		name := fmt.Sprintf("node%d", i)
+		n, err := cluster.NewNode(name, cluster.NodeOptions{
+			Engine: engine.Options{},
+			Scope:  obs.NewScope("scope-" + name),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		mw.AddNode(n)
+		rig.nodes = append(rig.nodes, n)
+	}
+	return rig
+}
+
+// TestClusterTraceMergedTimeline migrates a tenant across nodes with
+// private scopes and checks `madeusctl trace`'s data source: one merged
+// timeline where the middleware's Step 1-4 spans and the dbnode-side wire
+// events share the migration's MTS and span.
+func TestClusterTraceMergedTimeline(t *testing.T) {
+	rig := newScopedRig(t, 2)
+	tenant := "scopetrace"
+	rig.provision(t, tenant, 100)
+
+	rep, err := rig.mw.Migrate(tenant, "node1", MigrateOptions{Strategy: Madeus})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MTS == 0 || rep.Span == 0 {
+		t.Fatalf("report carries MTS=%d span=%d, want both nonzero", rep.MTS, rep.Span)
+	}
+
+	tl := rig.mw.Timeline(tenant, 0)
+	if len(tl) == 0 {
+		t.Fatal("empty merged timeline after a migration")
+	}
+
+	bySource := map[string]int{}
+	steps := map[string]bool{}
+	mtsWant := fmt.Sprint(rep.MTS)
+	spanWant := fmt.Sprint(rep.Span)
+	remoteStamped := 0
+	for _, te := range tl {
+		bySource[te.Source]++
+		if te.Source == localSource {
+			steps[te.Event.Name] = true
+			continue
+		}
+		// Remote wire events must carry this migration's identity.
+		fields := map[string]string{}
+		for _, f := range te.Event.Fields {
+			fields[f.Key] = f.Value
+		}
+		if !strings.HasPrefix(te.Event.Name, "wire.") {
+			t.Fatalf("unexpected remote event %q from %s", te.Event.Name, te.Source)
+		}
+		if fields["mts"] == mtsWant && fields["span"] == spanWant {
+			remoteStamped++
+		}
+	}
+	for _, want := range []string{"migrate.begin", "step1.mts", "step2.restore", "step3.propagate", "step4.switchover", "migrate.end"} {
+		if !steps[want] {
+			t.Fatalf("middleware timeline missing %q; have %v", want, steps)
+		}
+	}
+	// The destination always sees traced work (restore and catch-up happen
+	// after the MTS is fixed).
+	if bySource["node1"] == 0 {
+		t.Fatalf("no events scraped from the destination node; sources: %v", bySource)
+	}
+	if remoteStamped == 0 {
+		t.Fatalf("no remote event stamped with mts=%s span=%s; sources: %v", mtsWant, spanWant, bySource)
+	}
+
+	// Merged order: sorted on the middleware clock (skew-adjusted).
+	for i := 1; i < len(tl); i++ {
+		if tl[i].AdjustedAt().Before(tl[i-1].AdjustedAt()) {
+			t.Fatalf("timeline out of order at %d: %v after %v", i, tl[i-1], tl[i])
+		}
+	}
+}
+
+// TestTimelineDedupsSharedScope: in-process nodes on the process scope
+// would be scraped back as the middleware's own events; the instance-ID
+// dedup must drop them so nothing appears twice.
+func TestTimelineDedupsSharedScope(t *testing.T) {
+	rig := newRig(t, 2, engine.Options{})
+	tenant := "scopededup"
+	rig.provision(t, tenant, 20)
+	if _, err := rig.mw.Migrate(tenant, "node1", MigrateOptions{Strategy: Madeus}); err != nil {
+		t.Fatal(err)
+	}
+	tl := rig.mw.Timeline(tenant, 0)
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	seen := map[string]bool{}
+	for _, te := range tl {
+		if te.Source != localSource {
+			t.Fatalf("process-scope node leaked through dedup as source %q", te.Source)
+		}
+		key := fmt.Sprintf("%s/%d", te.Source, te.Event.Seq)
+		if seen[key] {
+			t.Fatalf("duplicate event %s in merged timeline", key)
+		}
+		seen[key] = true
+	}
+}
+
+// failingScraper is a Backend whose scrape always fails: the timeline must
+// degrade to a synthetic error event, not abort.
+type failingScraper struct{ Backend }
+
+func (failingScraper) ScrapeObs(uint64, string, int) (*obs.RemoteSnapshot, error) {
+	return nil, errors.New("scrape boom")
+}
+
+func TestTimelineScrapeErrorIsSynthetic(t *testing.T) {
+	rig := newRig(t, 1, engine.Options{})
+	tenant := "scopeerr"
+	rig.provision(t, tenant, 10)
+	rig.mw.AddNode(failingScraper{Backend: rig.nodes[0]})
+
+	found := false
+	for _, te := range rig.mw.Timeline(tenant, 0) {
+		if te.Event.Name == obsEvScrapeError {
+			found = true
+			if len(te.Event.Fields) == 0 || !strings.Contains(te.Event.Fields[0].Value, "scrape boom") {
+				t.Fatalf("synthetic event lacks the cause: %v", te.Event)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("failing scraper produced no synthetic scrape.error event")
+	}
+}
+
+// TestHistorySampler checks the middleware's sampling loop end to end:
+// per-tenant samples appear at the configured cadence, pause and resume
+// with HISTORY CADENCE retunes, and vanish with the tenant.
+func TestHistorySampler(t *testing.T) {
+	testutil.CheckGoroutines(t)
+	mw, err := New(Options{CatchupTimeout: 30 * time.Second, HistoryCadence: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mw.Close)
+	n, err := cluster.NewNode("node0", cluster.NodeOptions{Engine: engine.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	mw.AddNode(n)
+
+	tenant := "scopehist"
+	if err := mw.ProvisionTenant(tenant, "node0"); err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Hist.Drop(tenant)
+	c, err := wire.Dial(mw.Addr(), tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := obs.Hist.Last(tenant, -1); len(s) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sampler recorded no samples within 5s at 10ms cadence")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	last := obs.Hist.Last(tenant, 1)[0]
+	if last.Ops < 1 {
+		t.Fatalf("sample has Ops=%d, want >=1 (the CREATE TABLE)", last.Ops)
+	}
+	if last.Sessions < 1 {
+		t.Fatalf("sample has Sessions=%d, want >=1 (open client)", last.Sessions)
+	}
+
+	// Pause: counts must stop growing (allow one in-flight tick).
+	mw.SetHistoryCadence(-1)
+	if got := mw.HistoryCadence(); got != -1 {
+		t.Fatalf("HistoryCadence() = %v after retune", got)
+	}
+	time.Sleep(50 * time.Millisecond)
+	n1 := len(obs.Hist.Last(tenant, -1))
+	time.Sleep(150 * time.Millisecond)
+	if n2 := len(obs.Hist.Last(tenant, -1)); n2 > n1 {
+		t.Fatalf("paused sampler still recording: %d -> %d samples", n1, n2)
+	}
+
+	// Resume through the idle poll.
+	mw.SetHistoryCadence(10 * time.Millisecond)
+	deadline = time.Now().Add(5 * time.Second)
+	for len(obs.Hist.Last(tenant, -1)) <= n1 {
+		if time.Now().After(deadline) {
+			t.Fatal("sampler did not resume after cadence re-enable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Teardown: RemoveTenant unregisters the per-tenant gauges and drops
+	// the series.
+	c.Close()
+	if err := mw.RemoveTenant(tenant); err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Hist.Last(tenant, -1); got != nil {
+		t.Fatalf("tenant series survived RemoveTenant: %d samples", len(got))
+	}
+	for _, m := range obs.Default.Snapshot() {
+		if strings.HasPrefix(m.Name, tenantMetricPrefix+tenant+".") {
+			t.Fatalf("tenant gauge %q survived RemoveTenant", m.Name)
+		}
+	}
+	if err := mw.RemoveTenant(tenant); err == nil {
+		t.Fatal("removing an unknown tenant must error")
+	}
+}
+
+// TestTenantGaugesRegistered: adding a tenant exposes its MLC, session,
+// and SSL-depth gauges under the core.tenant. prefix.
+func TestTenantGaugesRegistered(t *testing.T) {
+	rig := newRig(t, 1, engine.Options{})
+	tenant := "scopegauge"
+	rig.provision(t, tenant, 10)
+	want := map[string]bool{
+		tenantMetricPrefix + tenant + ".mlc":       false,
+		tenantMetricPrefix + tenant + ".sessions":  false,
+		tenantMetricPrefix + tenant + ".ssl.depth": false,
+	}
+	for _, m := range obs.Default.Snapshot() {
+		if _, ok := want[m.Name]; ok {
+			want[m.Name] = true
+		}
+	}
+	for name, found := range want {
+		if !found {
+			t.Fatalf("gauge %q not registered on AddTenant", name)
+		}
+	}
+	if err := rig.mw.RemoveTenant(tenant); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,9 +2,11 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/flow"
+	"madeus/internal/obs"
 )
 
 // Tenant is the middleware's per-tenant state: the tenant's current master
@@ -62,6 +64,13 @@ type Tenant struct {
 	// counters for reporting
 	capturedOps  int
 	capturedSSBs int
+
+	// ops and sessions feed the history sampler's per-tenant rate and
+	// session curves. Atomics, not t.mu fields: ops increments on every
+	// relayed statement and sessions on every connect/close, and neither
+	// belongs inside the critical region.
+	ops      atomic.Int64
+	sessions atomic.Int64
 }
 
 // NewTenant registers tenant state with its initial master node. gov may
@@ -75,6 +84,32 @@ func NewTenant(name string, node Backend, gov *flow.Governor) *Tenant {
 	t.limiter = flow.NewLimiter(name, gov)
 	t.cond = sync.NewCond(&t.mu)
 	return t
+}
+
+// tenantMetricPrefix prefixes every per-tenant dynamic gauge, so one
+// UnregisterPrefix call at teardown drops the whole family.
+const tenantMetricPrefix = "core.tenant."
+
+// registerObs publishes the tenant's dynamic gauges on the Default
+// registry. Replace semantics (not New*) because remove/re-add cycles and
+// multiple middleware instances in one test process are normal.
+func (t *Tenant) registerObs() {
+	prefix := tenantMetricPrefix + t.Name
+	obs.Default.ReplaceGaugeFunc(prefix+".mlc", "tenant master logical clock", func() int64 {
+		return int64(t.MLC())
+	})
+	obs.Default.ReplaceGaugeFunc(prefix+".sessions", "tenant customer sessions open", func() int64 {
+		return t.sessions.Load()
+	})
+	obs.Default.ReplaceGaugeFunc(prefix+".ssl.depth", "tenant retained syncset-list depth", func() int64 {
+		return int64(t.SSLLen())
+	})
+}
+
+// teardownObs removes the tenant's dynamic gauges and its history series.
+func (t *Tenant) teardownObs() {
+	obs.Default.UnregisterPrefix(tenantMetricPrefix + t.Name + ".")
+	obs.Hist.Drop(t.Name)
 }
 
 // TenantState classifies a tenant's service mode.

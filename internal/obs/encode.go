@@ -34,18 +34,26 @@ func WriteEventsText(w io.Writer, events []Event) error {
 	return nil
 }
 
-// DebugSnapshot is the JSON document the /debug/madeus endpoint serves: the
-// full metric registry plus the tail of the event ring.
+// DebugSnapshot is the JSON document the /debug/madeus endpoint serves:
+// the full metric registry, the tail of the event ring, and (on processes
+// running the history sampler) the per-tenant time series.
 type DebugSnapshot struct {
-	Metrics []Metric `json:"metrics"`
-	Events  []Event  `json:"events"`
+	Metrics []Metric            `json:"metrics"`
+	Events  []Event             `json:"events"`
+	History map[string][]Sample `json:"history,omitempty"`
 }
 
 // WriteJSON renders a combined metrics+events snapshot as one JSON object.
 func WriteJSON(w io.Writer, snap []Metric, events []Event) error {
+	return WriteDebug(w, DebugSnapshot{Metrics: snap, Events: events})
+}
+
+// WriteDebug renders a full debug snapshot (metrics, events, history) as
+// one JSON object.
+func WriteDebug(w io.Writer, snap DebugSnapshot) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(DebugSnapshot{Metrics: snap, Events: events}); err != nil {
+	if err := enc.Encode(snap); err != nil {
 		return fmt.Errorf("obs: encode snapshot: %w", err)
 	}
 	return nil

@@ -5,15 +5,19 @@ import (
 	"strconv"
 )
 
-// Handler serves the registry and tracer over HTTP in the expvar style:
+// Handler serves the registry, tracer, and history over HTTP in the
+// expvar style:
 //
-//	GET /debug/madeus            combined JSON (metrics + recent events)
+//	GET /debug/madeus            combined JSON (metrics + recent events + history)
 //	GET /debug/madeus?events=N   cap the event tail at N (default 200)
 //	GET /debug/madeus/text       plain-text metric dump
+//	GET /debug/madeus/prom       Prometheus text exposition of the registry
 //
-// Mount it with NewServeMux and http.Serve from cmd/madeusd's -debug flag;
-// it holds no per-request state and is safe for concurrent use.
-func Handler(r *Registry, t *Tracer) http.Handler {
+// h may be nil on processes without a sampler (dbnode); the JSON document
+// then simply omits its history section. Mount it with NewServeMux and
+// http.Serve from cmd/madeusd's -debug flag; it holds no per-request state
+// and is safe for concurrent use.
+func Handler(r *Registry, t *Tracer, h *History) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/madeus", func(w http.ResponseWriter, req *http.Request) {
 		n := 200
@@ -25,14 +29,22 @@ func Handler(r *Registry, t *Tracer) http.Handler {
 			}
 			n = v
 		}
+		snap := DebugSnapshot{Metrics: r.Snapshot(), Events: t.Last(n)}
+		if h != nil {
+			snap.History = h.Snapshot(n)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		// The client hanging up mid-write is its problem; nothing to do
 		// with the error beyond not masking a partial write as success.
-		_ = WriteJSON(w, r.Snapshot(), t.Last(n))
+		_ = WriteDebug(w, snap)
 	})
 	mux.HandleFunc("/debug/madeus/text", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_ = WriteText(w, r.Snapshot())
+	})
+	mux.HandleFunc("/debug/madeus/prom", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
 	})
 	return mux
 }

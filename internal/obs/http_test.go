@@ -15,7 +15,7 @@ func TestHandlerJSON(t *testing.T) {
 	tr := NewTracer(16)
 	tr.Emit("shop", "step4.switchover", F("suspension", "1ms"))
 
-	srv := httptest.NewServer(Handler(r, tr))
+	srv := httptest.NewServer(Handler(r, tr, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/madeus")
@@ -44,7 +44,7 @@ func TestHandlerEventLimitAndText(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tr.Emit("shop", "tick")
 	}
-	srv := httptest.NewServer(Handler(r, tr))
+	srv := httptest.NewServer(Handler(r, tr, nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/debug/madeus?events=3")

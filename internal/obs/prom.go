@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format (version 0.0.4): counters and gauges as single
+// samples, histograms as cumulative `_bucket` series with `le` labels plus
+// `_sum` and `_count`. Metric names are sanitized to the Prometheus
+// charset (every non-[a-zA-Z0-9_:] byte becomes '_', so "wire.ops" scrapes
+// as "wire_ops"). Histogram bounds stay in the unit the instrumentation
+// chose (nanoseconds for latencies) — converting would silently change
+// series semantics between the text and Prometheus views.
+func WritePrometheus(w io.Writer, snap []Metric) error {
+	for _, m := range snap {
+		name := promName(m.Name)
+		if m.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, promEscapeHelp(m.Help)); err != nil {
+				return err
+			}
+		}
+		switch m.Kind {
+		case KindCounter:
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, m.Value); err != nil {
+				return err
+			}
+		case KindGauge:
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, m.Value); err != nil {
+				return err
+			}
+		case KindHistogram:
+			if m.Hist == nil {
+				continue
+			}
+			if err := writePromHistogram(w, name, m.Hist); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h *HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count)
+	return err
+}
+
+// promName sanitizes a dotted metric name into the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes backslashes and newlines per the exposition
+// format's HELP rules.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheus renders a mixed registry and checks the exposition
+// essentials: sanitized names, TYPE lines, and cumulative histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("wire.ops", "operations relayed")
+	c.Add(3)
+	g := r.NewGauge("core.tenants", "registered tenants")
+	g.Set(2)
+	h := r.NewHistogram("wire.latency-ns", "exec latency", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP wire_ops operations relayed",
+		"# TYPE wire_ops counter",
+		"wire_ops 3",
+		"# TYPE core_tenants gauge",
+		"core_tenants 2",
+		"# TYPE wire_latency_ns histogram",
+		`wire_latency_ns_bucket{le="10"} 1`,
+		`wire_latency_ns_bucket{le="100"} 2`,
+		`wire_latency_ns_bucket{le="+Inf"} 3`,
+		"wire_latency_ns_sum 555",
+		"wire_latency_ns_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wire.ops") {
+		t.Fatalf("unsanitized metric name leaked into exposition:\n%s", out)
+	}
+}
+
+// TestPromNameSanitize pins the charset mapping, including the
+// leading-digit rule.
+func TestPromNameSanitize(t *testing.T) {
+	cases := map[string]string{
+		"wire.ops":       "wire_ops",
+		"a-b c.d":        "a_b_c_d",
+		"9lives":         "_9lives",
+		"ok_name:colon":  "ok_name:colon",
+		"ünïcode.metric": "__n__code_metric", // multi-byte runes become one '_' per byte
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromHelpEscaping covers the HELP escaping rules for backslash and
+// newline.
+func TestPromHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x", "line1\nline2 \\ done")
+	var b strings.Builder
+	if err := WritePrometheus(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `# HELP x line1\nline2 \\ done`) {
+		t.Fatalf("help not escaped:\n%s", b.String())
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +75,66 @@ func (r *Registry) NewHistogram(name, help string, bounds []int64) *Histogram {
 	h.counts = make([]atomic.Uint64, len(bounds)+1)
 	r.register(name, h)
 	return h
+}
+
+// Unregister removes a registered metric by name, reporting whether it
+// existed. The metric object itself keeps working for holders of the
+// pointer; it just stops appearing in snapshots — which is the point:
+// series for departed tenants must not accumulate in long-lived processes.
+func (r *Registry) Unregister(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		return false
+	}
+	delete(r.byName, name)
+	for i, n := range r.ordered {
+		if n == name {
+			r.ordered = append(r.ordered[:i], r.ordered[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// UnregisterPrefix removes every metric whose name starts with prefix (the
+// per-tenant teardown path: one call drops the tenant's whole dynamic
+// series family). Returns how many were removed.
+func (r *Registry) UnregisterPrefix(prefix string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	kept := r.ordered[:0]
+	removed := 0
+	for _, n := range r.ordered {
+		if strings.HasPrefix(n, prefix) {
+			delete(r.byName, n)
+			removed++
+			continue
+		}
+		kept = append(kept, n)
+	}
+	r.ordered = kept
+	return removed
+}
+
+// ReplaceGaugeFunc registers a callback gauge, replacing any existing
+// metric under the same name instead of panicking. This is the sanctioned
+// API for DYNAMIC series — per-tenant gauges keyed by tenant name — where
+// replace semantics keep remove/re-add cycles (and two middleware
+// instances in one test process) safe. Static one-per-process metrics must
+// keep using NewGaugeFunc with a constant name; the madeusvet obsname rule
+// enforces that split by exempting only Replace* from the literal-name
+// requirement.
+func (r *Registry) ReplaceGaugeFunc(name, help string, fn func() int64) *GaugeFunc {
+	g := &GaugeFunc{name: name, help: help, fn: fn}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[name]; !ok {
+		r.ordered = append(r.ordered, name)
+		sort.Strings(r.ordered)
+	}
+	r.byName[name] = g
+	return g
 }
 
 // MetricKind tags a snapshot entry.

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// instanceID identifies this process's default scope. Merged cross-process
+// timelines deduplicate by instance, so an in-process "remote" node that
+// shares the process globals is recognized and not double-counted.
+var instanceID = fmt.Sprintf("p%d-%x", os.Getpid(), time.Now().UnixNano()&0xfffffff)
+
+// Instance returns the process-wide scope identity.
+func Instance() string { return instanceID }
+
+// Scope bundles a registry and a tracer under one instance identity: the
+// unit a remote scrape snapshots. The process scope wraps the package-level
+// Default/Trace globals; private scopes give in-process nodes (cluster
+// tests, single-binary demos) their own event ring so the cross-node
+// scrape path is exercised for real.
+type Scope struct {
+	ID       string
+	Registry *Registry
+	Tracer   *Tracer
+}
+
+var processScope = &Scope{ID: instanceID, Registry: Default, Tracer: Trace}
+
+// Process returns the scope wrapping the package-level globals.
+func Process() *Scope { return processScope }
+
+// scopeSeq uniquifies generated private-scope IDs within the process.
+var scopeSeq atomic.Uint64
+
+// NewScope builds a private scope with its own registry and tracer. An
+// empty id derives a unique one from the process instance.
+func NewScope(id string) *Scope {
+	if id == "" {
+		id = fmt.Sprintf("%s.%d", instanceID, scopeSeq.Add(1))
+	}
+	return &Scope{ID: id, Registry: NewRegistry(), Tracer: NewTracer(DefaultTracerCap)}
+}
+
+// RemoteSnapshot is one scope's scrape response: its identity, its clock at
+// snapshot time (the skew anchor for merged timelines), the tracer's next
+// sequence number (the caller's bookmark for incremental tailing), the
+// metric registry, and the requested slice of the event ring.
+type RemoteSnapshot struct {
+	Instance string    `json:"instance"`
+	Now      time.Time `json:"now"`
+	NextSeq  uint64    `json:"next_seq"`
+	Metrics  []Metric  `json:"metrics,omitempty"`
+	Events   []Event   `json:"events,omitempty"`
+}
+
+// Snapshot builds a scrape response: events with Seq >= since (optionally
+// tenant-filtered), capped at the most recent maxEvents when positive.
+func (s *Scope) Snapshot(since uint64, tenant string, maxEvents int) *RemoteSnapshot {
+	evs := s.Tracer.Since(since, tenant)
+	if maxEvents > 0 && len(evs) > maxEvents {
+		evs = evs[len(evs)-maxEvents:]
+	}
+	return &RemoteSnapshot{
+		Instance: s.ID,
+		Now:      time.Now(),
+		NextSeq:  s.Tracer.Seq(),
+		Metrics:  s.Registry.Snapshot(),
+		Events:   evs,
+	}
+}
+
+// TimelineEvent is one event in a merged cross-process timeline: the event
+// itself plus which process it came from and that process's estimated
+// clock offset relative to the merging process (positive = the source
+// clock runs ahead).
+type TimelineEvent struct {
+	Source string        `json:"source"`
+	Skew   time.Duration `json:"skew,omitempty"`
+	Event
+}
+
+// AdjustedAt maps the event's timestamp onto the merging process's clock.
+func (e TimelineEvent) AdjustedAt() time.Time { return e.At.Add(-e.Skew) }
+
+// String renders one merged-timeline line with its source annotation.
+func (e TimelineEvent) String() string {
+	return fmt.Sprintf("[%s skew=%v] %s", e.Source, e.Skew.Round(time.Microsecond), e.Event.String())
+}
+
+// MergeTimeline orders events from several processes onto one clock:
+// stable-sorted by skew-adjusted time, sequence numbers breaking ties
+// within a source.
+func MergeTimeline(evs []TimelineEvent) []TimelineEvent {
+	sort.SliceStable(evs, func(i, j int) bool {
+		ai, aj := evs[i].AdjustedAt(), evs[j].AdjustedAt()
+		if ai.Equal(aj) {
+			if evs[i].Source == evs[j].Source {
+				return evs[i].Seq < evs[j].Seq
+			}
+			return evs[i].Source < evs[j].Source
+		}
+		return ai.Before(aj)
+	})
+	return evs
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestScopeSnapshot covers the scrape-response builder: bookmark, tenant
+// filter, tail cap, and the clock/seq anchors.
+func TestScopeSnapshot(t *testing.T) {
+	s := NewScope("test-scope")
+	s.Registry.NewCounter("x.ops", "").Add(2)
+	s.Tracer.Emit("a", "ev.one")
+	s.Tracer.Emit("b", "ev.two")
+	s.Tracer.Emit("a", "ev.three")
+
+	snap := s.Snapshot(0, "", 0)
+	if snap.Instance != "test-scope" {
+		t.Fatalf("Instance = %q", snap.Instance)
+	}
+	if snap.NextSeq != 3 || len(snap.Events) != 3 {
+		t.Fatalf("NextSeq=%d events=%d, want 3/3", snap.NextSeq, len(snap.Events))
+	}
+	if snap.Now.IsZero() {
+		t.Fatal("no clock anchor")
+	}
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 2 {
+		t.Fatalf("Metrics = %v", snap.Metrics)
+	}
+	if got := s.Snapshot(0, "a", 0).Events; len(got) != 2 {
+		t.Fatalf("tenant filter got %d events, want 2", len(got))
+	}
+	if got := s.Snapshot(0, "", 2).Events; len(got) != 2 || got[1].Name != "ev.three" {
+		t.Fatalf("tail cap got %v, want the 2 newest", got)
+	}
+	if got := s.Snapshot(snap.NextSeq, "", 0).Events; len(got) != 0 {
+		t.Fatalf("bookmark scrape got %d events, want 0", len(got))
+	}
+}
+
+// TestNewScopeUniqueIDs: generated private-scope IDs never collide with
+// the process instance or each other.
+func TestNewScopeUniqueIDs(t *testing.T) {
+	a, b := NewScope(""), NewScope("")
+	if a.ID == b.ID || a.ID == Instance() || b.ID == Instance() {
+		t.Fatalf("scope IDs collide: %q %q (process %q)", a.ID, b.ID, Instance())
+	}
+	if a.Registry == nil || a.Tracer == nil {
+		t.Fatal("private scope missing registry or tracer")
+	}
+	if Process().Registry != Default || Process().Tracer != Trace {
+		t.Fatal("process scope does not wrap the package globals")
+	}
+}
+
+// TestMergeTimeline pins the merged ordering: skew-adjusted time first,
+// then source, then sequence within a source.
+func TestMergeTimeline(t *testing.T) {
+	base := time.Unix(1000, 0)
+	evs := []TimelineEvent{
+		{Source: "node1", Skew: time.Second, Event: Event{Seq: 1, At: base.Add(3 * time.Second)}}, // adjusted: +2s
+		{Source: "madeusd", Event: Event{Seq: 9, At: base}},
+		{Source: "node0", Skew: -time.Second, Event: Event{Seq: 2, At: base}},    // adjusted: +1s
+		{Source: "madeusd", Event: Event{Seq: 7, At: base.Add(2 * time.Second)}}, // ties with node1's
+	}
+	got := MergeTimeline(evs)
+
+	if got[0].Source != "madeusd" || got[0].Seq != 9 {
+		t.Fatalf("first = %v, want madeusd #9 at base", got[0])
+	}
+	if got[1].Source != "node0" {
+		t.Fatalf("second = %v, want node0 (skew-adjusted to +1s)", got[1])
+	}
+	// +2s tie: source name breaks it (madeusd < node1).
+	if got[2].Source != "madeusd" || got[3].Source != "node1" {
+		t.Fatalf("tie-break order = %s, %s; want madeusd then node1", got[2].Source, got[3].Source)
+	}
+	if adj := got[3].AdjustedAt(); !adj.Equal(base.Add(2 * time.Second)) {
+		t.Fatalf("AdjustedAt = %v, want %v", adj, base.Add(2*time.Second))
+	}
+}

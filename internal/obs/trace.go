@@ -92,6 +92,13 @@ func (t *Tracer) emit(e Event) {
 	t.mu.Unlock()
 }
 
+// EmitDur records one completed-span event whose duration was measured
+// inline by the caller (e.g. a wire server timing a traced query) rather
+// than through Start/End.
+func (t *Tracer) EmitDur(tenant, name string, dur time.Duration, fields ...Field) {
+	t.emit(Event{At: time.Now(), Tenant: tenant, Name: name, Dur: dur, Fields: fields})
+}
+
 // Span is an in-progress phase measurement started by Start.
 type Span struct {
 	tr     *Tracer

@@ -11,6 +11,7 @@ import (
 
 	"madeus/internal/engine"
 	"madeus/internal/fault"
+	"madeus/internal/obs"
 )
 
 // Client-side failpoint sites (armed only under -tags faultinject).
@@ -121,6 +122,8 @@ type Client struct {
 	opTimeout time.Duration
 	retry     RetryPolicy
 	rng       *rand.Rand // this client's private jitter source (lazy)
+
+	trace *TraceContext // when set and obs is on, ops go out as traced frames
 }
 
 // Dial connects to addr and starts a session on database.
@@ -157,6 +160,23 @@ func (c *Client) jitterRNG() *rand.Rand {
 		c.rng = c.retry.JitterRNG()
 	}
 	return c.rng
+}
+
+// SetTraceContext attaches (or, with nil, detaches) a migration trace
+// context. While attached and observability is enabled, every Exec and
+// ExecStream goes out as a traced frame so the server-side events carry
+// the migration's MTS and span id. Survives redials: the context lives on
+// the Client, not the connection.
+func (c *Client) SetTraceContext(tc *TraceContext) { c.trace = tc }
+
+// queryFrame picks the plain or traced frame for one outgoing statement.
+// The obs.On() guard keeps the disabled-observability cost at one atomic
+// load — no context encoding, no allocation (pinned by the overhead test).
+func (c *Client) queryFrame(plain, traced byte, sql string) (byte, []byte) {
+	if c.trace != nil && obs.On() {
+		return traced, encodeTraced(c.trace, sql)
+	}
+	return plain, []byte(sql)
 }
 
 // Broken reports whether the connection has been poisoned by a transport
@@ -242,7 +262,8 @@ func (c *Client) Exec(sql string) (*engine.Result, error) {
 	if err := fault.Inject(faultWrite); err != nil {
 		return nil, c.faulted("write", err)
 	}
-	if err := writeMsg(c.bw, MsgQuery, []byte(sql)); err != nil {
+	typ, body := c.queryFrame(MsgQuery, MsgQueryTraced, sql)
+	if err := writeMsg(c.bw, typ, body); err != nil {
 		return nil, c.lost("write", err)
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -301,7 +322,8 @@ func (c *Client) ExecStream(sql string, sink func(seq uint32, stmts []string) er
 	if err := fault.Inject(faultWrite); err != nil {
 		return nil, c.faulted("write", err)
 	}
-	if err := writeMsg(c.bw, MsgQueryStream, []byte(sql)); err != nil {
+	typ, body := c.queryFrame(MsgQueryStream, MsgQueryStreamTraced, sql)
+	if err := writeMsg(c.bw, typ, body); err != nil {
 		return nil, c.lost("write", err)
 	}
 	if err := c.bw.Flush(); err != nil {
@@ -389,6 +411,45 @@ func (c *Client) ExecRetry(sql string, idempotent bool) (*engine.Result, error) 
 // injected faults, never server-reported statement errors.
 func retryable(err error) bool {
 	return IsTransportError(err) || fault.IsInjected(err)
+}
+
+// Scrape pulls the server process's observability snapshot: its registry
+// metrics plus the event-ring tail from since (a Seq bookmark; 0 means
+// everything still in the ring), optionally filtered by tenant, capped at
+// maxEvents. Follows Exec's transport discipline — op timeout, poisoning
+// on desync — because it shares the session's request/response stream.
+func (c *Client) Scrape(since uint64, tenant string, maxEvents int) (*obs.RemoteSnapshot, error) {
+	if c.rtt > 0 {
+		time.Sleep(c.rtt)
+	}
+	if c.broken {
+		return nil, &ConnLostError{Op: "exec", Cause: errors.New("client not connected")}
+	}
+	if c.opTimeout > 0 {
+		_ = c.conn.SetDeadline(time.Now().Add(c.opTimeout))
+		defer func() {
+			if !c.broken {
+				_ = c.conn.SetDeadline(time.Time{})
+			}
+		}()
+	}
+	if err := writeMsg(c.bw, MsgObsScrape, encodeScrapeReq(since, maxEvents, tenant)); err != nil {
+		return nil, c.lost("write", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, c.lost("write", err)
+	}
+	typ, payload, err := readMsg(c.br)
+	if err != nil {
+		return nil, c.lost("read", err)
+	}
+	switch typ {
+	case MsgObsSnapshot:
+		return decodeSnapshot(payload)
+	case MsgError:
+		return nil, &ServerError{Msg: string(payload)}
+	}
+	return nil, c.lost("read", fmt.Errorf("wire: unexpected response type %q", typ))
 }
 
 // faulted translates an injected error: a conn-drop closes the socket

@@ -39,6 +39,21 @@ const (
 	MsgQueryStream = 'q' // client → server: payload = SQL text, response may stream
 	MsgStreamChunk = 'C' // server → client: u32 seq + u32 count + count statements
 	MsgStreamEnd   = 'Z' // server → client: u32 chunk total + encoded engine.Result
+
+	// Traced variants: identical semantics to MsgQuery/MsgQueryStream but
+	// the payload is prefixed with a trace context (migration MTS + span id
+	// + tenant) so a dbnode can attribute its server-side work to the
+	// middleware migration that caused it. Servers that predate these types
+	// answer with MsgError, which the client surfaces normally — the trace
+	// prefix is an upgrade, not a handshake.
+	MsgQueryTraced       = 'T' // client → server: trace context + SQL text
+	MsgQueryStreamTraced = 't' // client → server: trace context + SQL text, response may stream
+
+	// Remote observability scrape: madeusd pulls a dbnode's registry
+	// snapshot and event-ring tail over the same session protocol the
+	// queries use (no second port, no second auth path).
+	MsgObsScrape   = 'M' // client → server: u64 since-seq + u32 max events + str tenant filter
+	MsgObsSnapshot = 'D' // server → client: JSON-encoded obs.RemoteSnapshot
 )
 
 // maxPayload guards against corrupt frames.

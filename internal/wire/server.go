@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/engine"
@@ -25,6 +26,13 @@ var (
 	obsRetries     = obs.NewCounter("wire.retries", "client-side op retries after transport failures")
 	obsStreamOps   = obs.NewCounter("wire.stream.ops", "streaming queries served")
 	obsStreamChunk = obs.NewCounter("wire.stream.chunks", "stream chunk frames sent")
+	obsScrapes     = obs.NewCounter("wire.scrapes", "remote observability snapshots served")
+)
+
+// Trace event names for served traced operations.
+const (
+	obsEvWireExec   = "wire.exec"
+	obsEvWireStream = "wire.stream"
 )
 
 // faultServeOp is the server-side per-op failpoint: a drop policy hangs
@@ -65,6 +73,13 @@ type Server struct {
 	ln      net.Listener
 	handler Handler
 
+	// scope is the observability identity this server emits traced-query
+	// events into and answers MsgObsScrape from. Defaults to the process
+	// scope; cluster tests running several "nodes" in one process install
+	// private scopes so each node's timeline stays distinct. An atomic
+	// pointer because SetScope races with the accept loop already serving.
+	scope atomic.Pointer[obs.Scope]
+
 	mu     sync.Mutex //madeusvet:lockrank wire-server 8
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -78,9 +93,37 @@ func Listen(addr string, handler Handler) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.scope.Store(obs.Process())
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// SetScope replaces the server's observability scope (nil restores the
+// process scope). Safe while serving.
+func (s *Server) SetScope(sc *obs.Scope) {
+	if sc == nil {
+		sc = obs.Process()
+	}
+	s.scope.Store(sc)
+}
+
+// Scope returns the server's current observability scope.
+func (s *Server) Scope() *obs.Scope { return s.scope.Load() }
+
+// traceOp stamps one served traced operation into the scope's event ring.
+// tc == nil (a plain frame) or disabled obs is a no-op; the latter guard
+// keeps the per-op cost at one atomic load.
+func (s *Server) traceOp(tc *TraceContext, name string, dur time.Duration, err error) {
+	if tc == nil || !obs.On() {
+		return
+	}
+	fields := []obs.Field{obs.F("mts", tc.MTS), obs.F("span", tc.Span)}
+	if err != nil {
+		fields = append(fields, obs.F("err", err))
+	}
+	//madeusvet:ignore obsname name is forwarded verbatim; both call sites pass the obsEvWire* package consts
+	s.scope.Load().Tracer.EmitDur(tc.Tenant, name, dur, fields...)
 }
 
 // Addr returns the listen address.
@@ -163,7 +206,7 @@ func (s *Server) serve(conn net.Conn) {
 			return // client went away
 		}
 		switch typ {
-		case MsgQuery:
+		case MsgQuery, MsgQueryTraced:
 			if ferr := fault.Inject(faultServeOp); ferr != nil {
 				if fault.IsConnDrop(ferr) {
 					return // vanish mid-conversation
@@ -176,9 +219,24 @@ func (s *Server) serve(conn net.Conn) {
 			}
 			obsOps.Inc()
 			obsBytesIn.Add(uint64(len(payload) + msgHeaderLen))
+			sql := string(payload)
+			var tc *TraceContext
+			if typ == MsgQueryTraced {
+				ctx, q, derr := decodeTraced(payload)
+				if derr != nil {
+					// A malformed trace prefix desynchronizes the frame's
+					// meaning; hang up like any protocol violation.
+					_ = writeMsg(bw, MsgError, []byte(derr.Error()))
+					_ = bw.Flush()
+					return
+				}
+				tc, sql = &ctx, q
+			}
 			start := time.Now()
-			res, err := sess.Exec(string(payload))
-			obsOpLatency.ObserveDuration(time.Since(start))
+			res, err := sess.Exec(sql)
+			dur := time.Since(start)
+			obsOpLatency.ObserveDuration(dur)
+			s.traceOp(tc, obsEvWireExec, dur, err)
 			var out []byte
 			if err != nil {
 				out = []byte(err.Error())
@@ -194,7 +252,7 @@ func (s *Server) serve(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
-		case MsgQueryStream:
+		case MsgQueryStream, MsgQueryStreamTraced:
 			if ferr := fault.Inject(faultServeOp); ferr != nil {
 				if fault.IsConnDrop(ferr) {
 					return // vanish mid-conversation
@@ -208,6 +266,17 @@ func (s *Server) serve(conn net.Conn) {
 			obsOps.Inc()
 			obsStreamOps.Inc()
 			obsBytesIn.Add(uint64(len(payload) + msgHeaderLen))
+			sql := string(payload)
+			var tc *TraceContext
+			if typ == MsgQueryStreamTraced {
+				ctx, q, derr := decodeTraced(payload)
+				if derr != nil {
+					_ = writeMsg(bw, MsgError, []byte(derr.Error()))
+					_ = bw.Flush()
+					return
+				}
+				tc, sql = &ctx, q
+			}
 			start := time.Now()
 			var chunks uint32
 			var res *engine.Result
@@ -218,7 +287,7 @@ func (s *Server) serve(conn net.Conn) {
 				// restore pipeline overlaps the ongoing scan; a write
 				// failure surfaces through ExecStream's emit error and
 				// ends the session below.
-				res, handled, err = sc.ExecStream(string(payload), func(stmts []string) error {
+				res, handled, err = sc.ExecStream(sql, func(stmts []string) error {
 					body := EncodeStreamChunk(chunks, stmts)
 					chunks++
 					obsStreamChunk.Inc()
@@ -230,9 +299,11 @@ func (s *Server) serve(conn net.Conn) {
 				})
 			}
 			if !handled && err == nil {
-				res, err = sess.Exec(string(payload))
+				res, err = sess.Exec(sql)
 			}
-			obsOpLatency.ObserveDuration(time.Since(start))
+			dur := time.Since(start)
+			obsOpLatency.ObserveDuration(dur)
+			s.traceOp(tc, obsEvWireStream, dur, err)
 			var out []byte
 			if err != nil {
 				// MsgError is a valid stream terminator at any point; if
@@ -245,6 +316,30 @@ func (s *Server) serve(conn net.Conn) {
 				err = writeMsg(bw, MsgStreamEnd, out)
 			}
 			obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
+			if err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		case MsgObsScrape:
+			since, maxEvents, tenant, derr := decodeScrapeReq(payload)
+			if derr != nil {
+				_ = writeMsg(bw, MsgError, []byte(derr.Error()))
+				_ = bw.Flush()
+				return
+			}
+			obsScrapes.Inc()
+			snap := s.scope.Load().Snapshot(since, tenant, maxEvents)
+			body, merr := encodeSnapshot(snap)
+			var err error
+			if merr != nil {
+				body = []byte(merr.Error())
+				err = writeMsg(bw, MsgError, body)
+			} else {
+				err = writeMsg(bw, MsgObsSnapshot, body)
+			}
+			obsBytesOut.Add(uint64(len(body) + msgHeaderLen))
 			if err != nil {
 				return
 			}

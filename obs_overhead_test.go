@@ -80,6 +80,75 @@ func TestObsDisabledOverhead(t *testing.T) {
 	t.Fatalf("disabled obs instrumentation is not free: %s across %d attempts", last, attempts)
 }
 
+// TestScopeDisabledOverhead extends the cost contract to the madeusscope
+// additions: with obs disabled, the wire client's trace-context check (the
+// per-query "plain or traced frame?" branch) and a History.Record must each
+// stay an atomic-load branch — no allocation, no locking, within noise of
+// the bare loop.
+func TestScopeDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	if raceEnabled {
+		t.Skip("race detector instruments atomics; run without -race")
+	}
+
+	hist := obs.NewHistory(64)
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(true)
+
+	// Mirror of wire.Client.queryFrame's guard: a non-nil context still
+	// sends plain frames while obs is off, deciding on one atomic load.
+	type traceCtx struct{ mts, span uint64 }
+	tc := &traceCtx{mts: 1, span: 1}
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if tc != nil && obs.On() {
+			panic("unreachable: obs is disabled")
+		}
+		hist.Record("guard", obs.Sample{Lag: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled scope instrumentation allocates %.1f objects/op", allocs)
+	}
+	if got := hist.Last("guard", -1); got != nil {
+		t.Fatalf("disabled History.Record stored %d samples", len(got))
+	}
+
+	var sink uint64
+	bare := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sink += uint64(i)
+		}
+	}
+	instrumented := func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if tc != nil && obs.On() {
+				panic("unreachable: obs is disabled")
+			}
+			hist.Record("guard", obs.Sample{Lag: int64(i)})
+			sink += uint64(i)
+		}
+	}
+
+	const attempts = 5
+	var last string
+	for try := 0; try < attempts; try++ {
+		rBare := testing.Benchmark(bare)
+		rInst := testing.Benchmark(instrumented)
+		nsBare := float64(rBare.NsPerOp())
+		nsInst := float64(rInst.NsPerOp())
+		if nsBare <= 0 {
+			nsBare = 0.1
+		}
+		if nsInst <= 4*nsBare+2 {
+			return
+		}
+		last = fmt.Sprintf("%.1fns/op vs %.1fns/op (%.1fx)", nsInst, nsBare, nsInst/nsBare)
+	}
+	t.Fatalf("disabled scope instrumentation is not free: %s across %d attempts", last, attempts)
+}
+
 // BenchmarkObsCounterEnabled measures the enabled hot-path cost of one
 // sharded counter increment (the per-op price of leaving obs on).
 func BenchmarkObsCounterEnabled(b *testing.B) {

@@ -61,9 +61,22 @@ go test -count=1 -run 'TestFlowDisabledOverhead' .
 # keeps the pairs' exported surfaces identical, the matrix keeps them
 # compiling), and a benchrunner -json smoke so the BENCH_*.json baseline
 # path stays alive.
-go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,staleignore ./...
+go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,obsname,staleignore ./...
 go test -count=1 ./internal/analysis/
 go build -tags invariants ./...
 go build -tags "invariants faultinject" ./...
 go run ./cmd/benchrunner -exp table2 -quick -json /tmp/bench_smoke.json >/dev/null
 rm -f /tmp/bench_smoke.json
+
+# madeusscope gate: the cross-process trace plumbing (merged cluster
+# timeline, scope dedup, scrape degradation), the time-series history ring
+# and middleware sampler, the flight recorder (including a rollback capture
+# under faultinject), the Prometheus exposition writer, the obsname naming
+# rule over the whole tree, and the disabled-cost guard for the new
+# trace-context and sampler branches.
+go test -race -count=1 -run 'TestTraced|TestClientScrape|TestScrapeMaxEvents|TestMalformedTracedFrame' ./internal/wire/
+go test -race -count=1 -run 'TestClusterTrace|TestTimeline|TestHistorySampler|TestTenantGauges' ./internal/core/
+go test -race -count=1 -run 'TestHistory|TestFlight|TestWritePrometheus|TestProm|TestScopeSnapshot|TestMergeTimeline' ./internal/obs/
+go test -tags faultinject -race -count=1 -run 'TestChaosFlightRecorder' ./internal/core/
+go run ./cmd/madeusvet -rules obsname ./...
+go test -count=1 -run 'TestScopeDisabledOverhead' .
