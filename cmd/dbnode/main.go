@@ -38,9 +38,11 @@ func main() {
 		stmt      = flag.Duration("stmtcost", 0, "simulated per-statement CPU cost")
 		slots     = flag.Int("slots", 4, "concurrent statement execution slots")
 		serial    = flag.Bool("serialcommit", false, "disable group commit (one fsync per commit)")
+		dataDir   = flag.String("data", "", "data directory for a durable node: on-disk WAL + checkpoints, recovered on boot (empty: in-memory)")
+		ckptEvery = flag.Duration("checkpoint-every", 30*time.Second, "background checkpoint interval for a durable node (0 disables)")
 		debugAddr = flag.String("debug", "", "serve /debug/madeus JSON stats on this address (empty: disabled)")
 	)
-	flag.Var(&dbs, "db", "tenant database to create at startup (repeatable)")
+	flag.Var(&dbs, "db", "tenant database to create at startup (repeatable; pre-existing ones recovered from -data are kept)")
 	flag.Parse()
 
 	mode := wal.GroupCommit
@@ -50,10 +52,12 @@ func main() {
 	node, err := cluster.NewNode("dbnode", cluster.NodeOptions{
 		Listen: *listen,
 		Engine: engine.Options{
-			WAL:         wal.Options{SyncDelay: *fsync, Mode: mode},
-			ExecSlots:   *slots,
-			StmtCost:    *stmt,
-			LockTimeout: time.Second,
+			WAL:             wal.Options{SyncDelay: *fsync, Mode: mode},
+			ExecSlots:       *slots,
+			StmtCost:        *stmt,
+			LockTimeout:     time.Second,
+			DataDir:         *dataDir,
+			CheckpointEvery: *ckptEvery,
 		},
 	})
 	if err != nil {
@@ -61,7 +65,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer node.Close()
+	if *dataDir != "" {
+		rec := node.Engine.LastRecovery()
+		fmt.Printf("dbnode: recovered %s in %v (checkpoint LSN %d, %d WAL records scanned, %d units replayed, databases: %v)\n",
+			*dataDir, rec.Duration.Round(time.Millisecond), rec.CheckpointLSN,
+			rec.Records, rec.Applied, node.Engine.Databases())
+	}
 	for _, db := range dbs {
+		if _, ok := node.Engine.Database(db); ok {
+			continue // recovered from the data dir
+		}
 		if err := node.Engine.CreateDatabase(db); err != nil {
 			fmt.Fprintln(os.Stderr, "dbnode:", err)
 			os.Exit(1)

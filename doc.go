@@ -5,8 +5,10 @@
 // The repository contains the Madeus middleware itself (internal/core), the
 // lazy snapshot isolation rule as an executable formal model
 // (internal/lsir), and every substrate the paper's evaluation depends on,
-// built from scratch: a snapshot-isolation MVCC engine with group-commit
-// WAL (internal/mvcc, internal/wal, internal/engine), a wire protocol
+// built from scratch: a snapshot-isolation MVCC engine with a group-commit
+// WAL that is replayable from disk — CRC-framed segments, checkpoints, and
+// redo recovery of exactly the committed prefix after kill -9
+// (internal/mvcc, internal/wal, internal/engine), a wire protocol
 // (internal/wire), a cluster harness (internal/cluster), a TPC-W-style
 // workload (internal/tpcw), and a benchmark harness regenerating every
 // table and figure of the paper's evaluation (internal/bench).

@@ -119,6 +119,7 @@ func All() []*Analyzer {
 		HoldBlock,
 		TagParity,
 		ObsName,
+		FsyncAck,
 		StaleIgnore,
 	}
 }

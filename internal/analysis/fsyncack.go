@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// FsyncAck guards the WAL's durability point: in a package that declares an
+// fsync function (the group-commit log), a method named Commit must not
+// acknowledge success — `return nil` — on a path where neither an fsync
+// call nor a commit-ack channel receive has happened. A commit acknowledged
+// without reaching the fsync (or the group-commit batch ack that proxies
+// for it) is exactly the bug the crash-torture suite exists to catch:
+// the client sees COMMIT, the crash loses the transaction.
+//
+// The check is lexical within the Commit body: a success return is covered
+// when some fsync/flush/sync call or channel receive appears earlier in the
+// function text. That accepts the two legitimate shapes (serial mode:
+// fsync then return; group mode: receive the batch ack then return) and
+// flags early-out `return nil` guards that skip the durability point.
+var FsyncAck = &Analyzer{
+	Name: "fsyncack",
+	Doc:  "Commit must not acknowledge success on a path skipping the group-commit fsync",
+	Run:  runFsyncAck,
+}
+
+func runFsyncAck(pass *Pass) {
+	// The rule only applies to packages that own a durability point: one
+	// of their functions is named fsync. Everywhere else, Commit methods
+	// (MVCC sessions, middleware transactions) delegate durability and are
+	// out of scope.
+	declaresFsync := false
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "fsync" {
+				declaresFsync = true
+			}
+		}
+	}
+	if !declaresFsync {
+		return
+	}
+	for _, file := range pass.Files {
+		if isTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "Commit" {
+				continue
+			}
+			if !lastResultIsError(fd) {
+				continue
+			}
+			checkCommitAcks(pass, fd)
+		}
+	}
+}
+
+// lastResultIsError reports whether the function's final result is `error`
+// — the acknowledgement channel this rule is about.
+func lastResultIsError(fd *ast.FuncDecl) bool {
+	res := fd.Type.Results
+	if res == nil || len(res.List) == 0 {
+		return false
+	}
+	id, ok := res.List[len(res.List)-1].Type.(*ast.Ident)
+	return ok && id.Name == "error"
+}
+
+// checkCommitAcks flags every `return nil` in fd whose position precedes
+// all durability events (fsync-family calls and channel receives) in the
+// body.
+func checkCommitAcks(pass *Pass, fd *ast.FuncDecl) {
+	var acks []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if name := calleeName(e); name != "" && isFsyncFamily(name) {
+				acks = append(acks, e.Pos())
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				acks = append(acks, e.Pos())
+			}
+		}
+		return true
+	})
+	covered := func(pos token.Pos) bool {
+		for _, a := range acks {
+			if a < pos {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false // closures are not the commit path's return
+		case *ast.ReturnStmt:
+			if len(e.Results) == 0 {
+				return true
+			}
+			last, ok := e.Results[len(e.Results)-1].(*ast.Ident)
+			if !ok || last.Name != "nil" {
+				return true
+			}
+			if !covered(e.Pos()) {
+				pass.Reportf(e.Pos(), "Commit acknowledges success before any fsync or commit-ack receive; the durability point was skipped")
+			}
+		}
+		return true
+	})
+}
+
+// isFsyncFamily matches the durability-point call names: fsync itself plus
+// the flush/sync spellings the log uses internally.
+func isFsyncFamily(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "fsync") || strings.Contains(lower, "flush") ||
+		strings.Contains(lower, "sync")
+}

@@ -1,0 +1,105 @@
+// Package fsyncack exercises the fsyncack analyzer: each line marked
+// `// want` must produce exactly one finding; unmarked lines none. The
+// package declares fsync, which activates the rule for every Commit method
+// in it.
+package fsyncack
+
+import "errors"
+
+type disk struct{ broken bool }
+
+// fsync is the durability point whose presence activates the rule.
+func (d *disk) fsync() error {
+	if d.broken {
+		return errors.New("io")
+	}
+	return nil
+}
+
+// serialLog acknowledges after the fsync — the serial-commit shape.
+type serialLog struct{ d disk }
+
+func (l *serialLog) Commit() error {
+	if err := l.d.fsync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// groupLog acknowledges after receiving the batch ack — the group-commit
+// shape. The receive counts as the durability event.
+type groupLog struct {
+	done chan error
+}
+
+func (l *groupLog) Commit() error {
+	if err := <-l.done; err != nil {
+		return err
+	}
+	return nil
+}
+
+// brokenLog acknowledges without ever reaching a durability point.
+type brokenLog struct{ pending int }
+
+func (l *brokenLog) Commit() error {
+	l.pending = 0
+	return nil // want
+}
+
+// earlyAckLog has the fsync, but an early-out guard acknowledges the commit
+// before reaching it — the skip path the rule exists for.
+type earlyAckLog struct {
+	d     disk
+	empty bool
+}
+
+func (l *earlyAckLog) Commit() error {
+	if l.empty {
+		return nil // want
+	}
+	return l.d.fsync()
+}
+
+// errorOutLog returns early with an error, never claiming success; failing
+// a commit without an fsync is fine.
+type errorOutLog struct {
+	d      disk
+	closed bool
+}
+
+func (l *errorOutLog) Commit() error {
+	if l.closed {
+		return errors.New("log closed")
+	}
+	if err := l.d.fsync(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// propagateLog returns the fsync error expression directly — never a
+// literal nil, so nothing to flag.
+type propagateLog struct{ d disk }
+
+func (l *propagateLog) Commit() error {
+	return l.d.fsync()
+}
+
+// rollback is not named Commit; acknowledging without fsync is out of scope.
+func (l *brokenLog) Rollback() error {
+	l.pending = 0
+	return nil
+}
+
+// suppressedLog documents a deliberate non-durable ack with the standard
+// directive; the finding must be suppressed.
+type suppressedLog struct{ volatile bool }
+
+func (l *suppressedLog) Commit() error {
+	if l.volatile {
+		//madeusvet:ignore fsyncack fixture: deliberately volatile mode
+		return nil
+	}
+	return errors.New("no durability point")
+}

@@ -91,6 +91,14 @@ func Experiments() []Experiment {
 			t.Fprint(w)
 			return nil
 		}},
+		{"recovery", "crash-recovery ablation: recovery time and replayed WAL bytes vs checkpoint interval (extra, not a paper figure)", func(cfg Config, w io.Writer) error {
+			t, err := Recovery(cfg)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
 		{"ablation-overhead", "middleware worker overhead in normal processing", func(cfg Config, w io.Writer) error {
 			t, err := AblationMiddlewareOverhead(cfg)
 			if err != nil {

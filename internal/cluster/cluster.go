@@ -48,11 +48,18 @@ type Node struct {
 const SysDB = "_sys"
 
 // NewNode starts a node listening on a free localhost port (or opts.Listen).
+// With a DataDir in the engine options the node recovers its tenants from
+// disk first; SysDB is only provisioned when recovery did not bring it back.
 func NewNode(name string, opts NodeOptions) (*Node, error) {
-	e := engine.New(opts.Engine)
-	if err := e.CreateDatabase(SysDB); err != nil {
-		e.Close()
-		return nil, err
+	e, err := engine.Open(opts.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: node %s: %w", name, err)
+	}
+	if _, ok := e.Database(SysDB); !ok {
+		if err := e.CreateDatabase(SysDB); err != nil {
+			e.Close()
+			return nil, err
+		}
 	}
 	addr := opts.Listen
 	if addr == "" {
@@ -155,6 +162,15 @@ func (n *Node) Connect(db string) (*wire.Client, error) {
 func (n *Node) Close() {
 	n.srv.Close()
 	n.Engine.Close()
+}
+
+// Crash simulates kill -9: connections drop and the engine loses its
+// unsynced WAL tail. A durable node restarted on the same data dir (a fresh
+// NewNode with the same Engine.DataDir) then recovers exactly the committed
+// prefix; for an in-memory node a crash loses everything, as before.
+func (n *Node) Crash() {
+	n.srv.Close()
+	n.Engine.Crash()
 }
 
 // Cluster is a named set of nodes.

@@ -632,7 +632,7 @@ func restoreSlave(sl Backend, tenant string, rows [][]sqlmini.Value, opts Migrat
 	if ferr := fault.Inject(faultStep2Restore); ferr != nil {
 		return ferr
 	}
-	if err := sl.CreateDatabase(tenant); err != nil {
+	if err := createFreshDatabase(sl, tenant); err != nil {
 		return err
 	}
 	restore, err := connectRetry(sl, tenant, faultRestoreDial, opts)
@@ -732,6 +732,24 @@ func transientErr(err error) bool {
 // dropDatabase best-effort drops a tenant database on a node.
 func dropDatabase(node Backend, db string) {
 	node.DropDatabase(db) //nolint:errcheck // absent database is fine
+}
+
+// createFreshDatabase provisions the tenant database on a slave for a
+// restore, discarding any leftover copy first. A durable destination that
+// crashed mid-restore and restarted recovers the partial slave from its
+// data dir; per the Sec 4.2 discard rule that partial state is never
+// resumed — Madeus discards the slave and rebuilds it from the snapshot.
+func createFreshDatabase(sl Backend, tenant string) error {
+	err := sl.CreateDatabase(tenant)
+	if err == nil {
+		return nil
+	}
+	dropDatabase(sl, tenant)
+	if retryErr := sl.CreateDatabase(tenant); retryErr == nil {
+		obs.Trace.Emit(tenant, "step2.slave.stale_discarded", obs.F("slave", sl.BackendName()))
+		return nil
+	}
+	return err
 }
 
 // String renders a compact single-line report.

@@ -164,6 +164,33 @@ func (m *Middleware) AddNode(n Backend) {
 	m.nodes[n.BackendName()] = n
 }
 
+// ReplaceNode swaps a registered node handle for a fresh one carrying the
+// same backend name — the restart path: a crashed dbnode that recovered its
+// tenants from its data dir comes back as a new Backend (new listener, same
+// durable state). Tenants mastered on that node are repointed and their
+// routing generation bumps, so proxy sessions reconnect lazily to the
+// recovered node; a migration that was in flight against the old handle
+// fails and rolls back like any connection loss, leaving the tenant
+// re-migratable.
+func (m *Middleware) ReplaceNode(n Backend) error {
+	name := n.BackendName()
+	m.mu.Lock()
+	if _, ok := m.nodes[name]; !ok {
+		m.mu.Unlock()
+		return fmt.Errorf("core: unknown node %q", name)
+	}
+	m.nodes[name] = n
+	tenants := make([]*Tenant, 0, len(m.tenants))
+	for _, t := range m.tenants {
+		tenants = append(tenants, t)
+	}
+	m.mu.Unlock()
+	for _, t := range tenants {
+		t.rebind(n)
+	}
+	return nil
+}
+
 // Node returns a registered node.
 func (m *Middleware) Node(name string) (Backend, bool) {
 	m.mu.RLock()

@@ -218,7 +218,7 @@ func restoreStream(sr *slaveRun, tenant string, opts MigrateOptions) error {
 	if ferr := fault.Inject(faultStep2Restore); ferr != nil {
 		return ferr
 	}
-	if err := sr.sl.CreateDatabase(tenant); err != nil {
+	if err := createFreshDatabase(sr.sl, tenant); err != nil {
 		return err
 	}
 	ctl, err := connectRetry(sr.sl, tenant, faultRestoreDial, opts)

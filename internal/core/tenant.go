@@ -350,6 +350,21 @@ func (t *Tenant) switchOver(dest Backend) {
 	t.mu.Unlock()
 }
 
+// rebind repoints the tenant at a restarted node handle carrying the same
+// backend name (Middleware.ReplaceNode). Reports whether the tenant was
+// mastered on that node.
+func (t *Tenant) rebind(n Backend) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.node.BackendName() != n.BackendName() {
+		return false
+	}
+	t.node = n
+	t.gen++
+	t.cond.Broadcast()
+	return true
+}
+
 // setProgress publishes the migration step in flight and the primary
 // slave's propagator (nil outside Steps 3-4) for the monitoring surfaces.
 func (t *Tenant) setProgress(phase string, p *propagator) {

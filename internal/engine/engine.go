@@ -49,6 +49,15 @@ type Options struct {
 	// output; it controls how much slower a restore is than a dump.
 	// Defaults to 50.
 	DumpBatch int
+	// DataDir, when non-empty, makes the engine durable: the WAL lives
+	// in DataDir as on-disk segment files, checkpoints are written under
+	// DataDir, and Open recovers the committed prefix on boot. Empty
+	// keeps the engine in-memory (the pre-durability behaviour).
+	DataDir string
+	// CheckpointEvery runs a background checkpoint at this interval when
+	// DataDir is set. Zero disables automatic checkpoints (explicit
+	// Checkpoint calls and the CHECKPOINT command still work).
+	CheckpointEvery time.Duration
 }
 
 // Engine is one DBMS instance ("node" in the paper's cluster).
@@ -59,6 +68,27 @@ type Engine struct {
 
 	mu  sync.RWMutex //madeusvet:lockrank engine 30
 	dbs map[string]*Database
+
+	// ckptMu orders commits and DDL against checkpoints: every commit
+	// point (WAL commit record + fsync + MVCC commit) and every DDL
+	// application holds the read side, and Checkpoint holds the write
+	// side while it pins the checkpoint LSN and its per-tenant snapshots.
+	// That makes "commit record durable at LSN <= ckptLSN" equivalent to
+	// "visible in the checkpoint snapshot", which is what lets recovery
+	// replay exactly the units beyond the checkpoint. Ranked below the
+	// session layer: holding it across the commit fsync is the design.
+	//madeusvet:lockrank checkpoint 28
+	ckptMu sync.RWMutex
+
+	recovering atomic.Bool   // replaying: suppress WAL appends and fsyncs
+	appliedLSN atomic.Uint64 // highest redo unit LSN applied (idempotent redo)
+	ckptLSN    atomic.Uint64 // LSN of the last completed checkpoint
+
+	lastRecovery RecoveryStats // set once by Open before serving traffic
+
+	ckptStop chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
 }
 
 // Database is one tenant: a named catalog of MVCC tables with its own
@@ -110,57 +140,152 @@ func (db *Database) noteAbort(conflict bool) {
 	}
 }
 
-// New creates an engine with its WAL committer running.
+// New creates an engine with its WAL committer running. It panics on a
+// durability setup failure; engines with a DataDir should use Open.
 func New(opts Options) *Engine {
-	if opts.DumpBatch <= 0 {
-		opts.DumpBatch = 50
-	}
-	e := &Engine{
-		opts: opts,
-		log:  wal.New(opts.WAL),
-		dbs:  make(map[string]*Database),
-	}
-	if opts.ExecSlots > 0 {
-		e.slots = make(chan struct{}, opts.ExecSlots)
+	e, err := Open(opts)
+	if err != nil {
+		panic(fmt.Sprintf("engine: %v", err))
 	}
 	return e
 }
 
-// Close stops the engine's WAL committer.
-func (e *Engine) Close() { e.log.Close() }
+// Open creates an engine. With DataDir set it opens the on-disk WAL,
+// loads the latest checkpoint, replays the committed WAL suffix so the
+// MVCC-visible state is exactly the committed prefix at the crash, and
+// starts the background checkpointer (if configured).
+func Open(opts Options) (*Engine, error) {
+	if opts.DumpBatch <= 0 {
+		opts.DumpBatch = 50
+	}
+	if opts.DataDir != "" {
+		opts.WAL.Dir = opts.DataDir
+	}
+	log, err := wal.Open(opts.WAL)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		opts:     opts,
+		log:      log,
+		dbs:      make(map[string]*Database),
+		ckptStop: make(chan struct{}),
+	}
+	if opts.ExecSlots > 0 {
+		e.slots = make(chan struct{}, opts.ExecSlots)
+	}
+	if opts.DataDir != "" {
+		if err := e.recover(); err != nil {
+			e.log.Close()
+			return nil, err
+		}
+		if opts.CheckpointEvery > 0 {
+			e.wg.Add(1)
+			go e.checkpointLoop()
+		}
+	}
+	return e, nil
+}
+
+// stopBackground stops the checkpointer (idempotent).
+func (e *Engine) stopBackground() {
+	e.stopOnce.Do(func() {
+		close(e.ckptStop)
+		e.wg.Wait()
+	})
+}
+
+// Close stops the background checkpointer and the WAL committer, flushing
+// the WAL tail — a graceful shutdown loses nothing.
+func (e *Engine) Close() {
+	e.stopBackground()
+	e.log.Close()
+}
+
+// Crash simulates kill -9: background work stops and the WAL drops its
+// unsynced tail instead of flushing it, losing everything since the last
+// fsync. A subsequent Open on the same DataDir exercises real recovery.
+func (e *Engine) Crash() {
+	e.stopBackground()
+	e.log.Crash()
+}
+
+// logAppend appends a WAL record unless the engine is replaying: recovery
+// re-executes logged statements through the normal execution path, and
+// re-logging them would double the log on every restart.
+func (e *Engine) logAppend(rec wal.Record) {
+	if e.recovering.Load() {
+		return
+	}
+	e.log.Append(rec)
+}
+
+// logCommit waits for a commit fsync unless the engine is replaying
+// (replayed units are durable already — they came from the log).
+func (e *Engine) logCommit() error {
+	if e.recovering.Load() {
+		return nil
+	}
+	return e.log.Commit()
+}
 
 // WALStats exposes the shared log's counters.
 func (e *Engine) WALStats() wal.Stats { return e.log.Stats() }
 
-// CreateDatabase adds an empty tenant database.
+// CreateDatabase adds an empty tenant database. The catalog change is
+// logged as a DDL record and made durable before returning, so a restarted
+// node still knows its tenants.
 func (e *Engine) CreateDatabase(name string) error {
 	if name == "" {
 		return fmt.Errorf("engine: empty database name")
 	}
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.dbs[name]; ok {
-		return fmt.Errorf("engine: database %q already exists", name)
+	e.ckptMu.RLock()
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.dbs[name]; ok {
+			return fmt.Errorf("engine: database %q already exists", name)
+		}
+		mgr := mvcc.NewManager()
+		mgr.LockTimeout = e.opts.LockTimeout
+		e.dbs[name] = &Database{
+			Name:   name,
+			mgr:    mgr,
+			tables: make(map[string]*mvcc.Table),
+		}
+		return nil
+	}()
+	if err == nil {
+		e.logAppend(wal.Record{Kind: wal.RecDDL, DB: name, Data: "CREATE DATABASE " + name})
 	}
-	mgr := mvcc.NewManager()
-	mgr.LockTimeout = e.opts.LockTimeout
-	e.dbs[name] = &Database{
-		Name:   name,
-		mgr:    mgr,
-		tables: make(map[string]*mvcc.Table),
+	e.ckptMu.RUnlock()
+	if err != nil {
+		return err
 	}
-	return nil
+	return e.logCommit()
 }
 
-// DropDatabase removes a tenant database and all its data.
+// DropDatabase removes a tenant database and all its data (logged and
+// durable, like CreateDatabase).
 func (e *Engine) DropDatabase(name string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if _, ok := e.dbs[name]; !ok {
-		return fmt.Errorf("engine: database %q does not exist", name)
+	e.ckptMu.RLock()
+	err := func() error {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.dbs[name]; !ok {
+			return fmt.Errorf("engine: database %q does not exist", name)
+		}
+		delete(e.dbs, name)
+		return nil
+	}()
+	if err == nil {
+		e.logAppend(wal.Record{Kind: wal.RecDDL, DB: name, Data: "DROP DATABASE " + name})
 	}
-	delete(e.dbs, name)
-	return nil
+	e.ckptMu.RUnlock()
+	if err != nil {
+		return err
+	}
+	return e.logCommit()
 }
 
 // Database returns the named tenant.
@@ -184,8 +309,13 @@ func (e *Engine) Databases() []string {
 }
 
 // acquireSlot blocks until an execution slot is free, then simulates the
-// statement's CPU cost. The returned func releases the slot.
+// statement's CPU cost. The returned func releases the slot. Recovery
+// bypasses the cost model: replay is not customer work and should finish at
+// disk speed, not at the simulated CPU's.
 func (e *Engine) acquireSlot() func() {
+	if e.recovering.Load() {
+		return func() {}
+	}
 	if e.slots != nil {
 		e.slots <- struct{}{}
 	}

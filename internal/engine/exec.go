@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"madeus/internal/mvcc"
 	"madeus/internal/sqlmini"
@@ -26,18 +27,29 @@ func (s *Session) execStatement(st sqlmini.Statement, sql string) (*Result, erro
 	case *sqlmini.Delete:
 		return s.execDelete(st, sql)
 	case *sqlmini.CreateTable:
-		return s.execCreateTable(st)
+		return s.execCreateTable(st, sql)
 	case *sqlmini.DropTable:
-		return s.execDropTable(st)
+		return s.execDropTable(st, sql)
 	case *sqlmini.CreateIndex:
-		return s.execCreateIndex(st)
+		return s.execCreateIndex(st, sql)
 	case *sqlmini.DropIndex:
-		return s.execDropIndex(st)
+		return s.execDropIndex(st, sql)
 	}
 	return nil, fmt.Errorf("engine: unsupported statement %T", st)
 }
 
-func (s *Session) execCreateTable(st *sqlmini.CreateTable) (*Result, error) {
+// logDDL records a schema change. DDL is non-transactional — applied
+// immediately, replayed at its own LSN — so the catalog mutation and its
+// record are fenced together against checkpoints by the caller holding
+// ckptMu's read side (a checkpoint must never capture the mutation while
+// the record lands on the checkpoint's side of the LSN). The transaction
+// scope is marked so COMMIT pays an fsync even if no rows changed.
+func (s *Session) logDDL(table, sql string) {
+	s.eng.logAppend(wal.Record{Kind: wal.RecDDL, DB: s.db.Name, Table: table, Data: sql})
+	s.ddl = true
+}
+
+func (s *Session) execCreateTable(st *sqlmini.CreateTable, sql string) (*Result, error) {
 	cols := make([]storage.Column, len(st.Columns))
 	for i, c := range st.Columns {
 		cols[i] = storage.Column{Name: c.Name, Type: c.Type, PrimaryKey: c.PrimaryKey}
@@ -46,44 +58,56 @@ func (s *Session) execCreateTable(st *sqlmini.CreateTable) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.eng.ckptMu.RLock()
+	defer s.eng.ckptMu.RUnlock()
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	if _, ok := s.db.tables[st.Table]; ok {
 		return nil, fmt.Errorf("engine: table %q already exists", st.Table)
 	}
 	s.db.tables[st.Table] = mvcc.NewTable(schema, s.db.mgr)
+	s.logDDL(st.Table, sql)
 	return &Result{Tag: "CREATE TABLE"}, nil
 }
 
-func (s *Session) execDropTable(st *sqlmini.DropTable) (*Result, error) {
+func (s *Session) execDropTable(st *sqlmini.DropTable, sql string) (*Result, error) {
+	s.eng.ckptMu.RLock()
+	defer s.eng.ckptMu.RUnlock()
 	s.db.mu.Lock()
 	defer s.db.mu.Unlock()
 	if _, ok := s.db.tables[st.Table]; !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
 	delete(s.db.tables, st.Table)
+	s.logDDL(st.Table, sql)
 	return &Result{Tag: "DROP TABLE"}, nil
 }
 
-func (s *Session) execCreateIndex(st *sqlmini.CreateIndex) (*Result, error) {
+func (s *Session) execCreateIndex(st *sqlmini.CreateIndex, sql string) (*Result, error) {
 	tb, ok := s.db.table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
+	s.eng.ckptMu.RLock()
+	defer s.eng.ckptMu.RUnlock()
 	if err := tb.CreateIndex(st.Name, st.Column); err != nil {
 		return nil, err
 	}
+	s.logDDL(st.Table, sql)
 	return &Result{Tag: "CREATE INDEX"}, nil
 }
 
-func (s *Session) execDropIndex(st *sqlmini.DropIndex) (*Result, error) {
+func (s *Session) execDropIndex(st *sqlmini.DropIndex, sql string) (*Result, error) {
 	tb, ok := s.db.table(st.Table)
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
+	s.eng.ckptMu.RLock()
+	defer s.eng.ckptMu.RUnlock()
 	if err := tb.DropIndex(st.Name); err != nil {
 		return nil, err
 	}
+	s.logDDL(st.Table, sql)
 	return &Result{Tag: "DROP INDEX"}, nil
 }
 
@@ -102,6 +126,7 @@ func (s *Session) execInsert(st *sqlmini.Insert, sql string) (*Result, error) {
 		colIdx[i] = ci
 	}
 	n := 0
+	var inserted []storage.Row
 	for _, exprRow := range st.Rows {
 		row := make(storage.Row, len(schema.Columns))
 		for i := range row {
@@ -117,9 +142,15 @@ func (s *Session) execInsert(st *sqlmini.Insert, sql string) (*Result, error) {
 		if err := tb.Insert(s.txn, row); err != nil {
 			return nil, err
 		}
+		inserted = append(inserted, row)
 		n++
 	}
-	s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecInsert, DB: s.db.Name, Table: st.Table, Data: sql})
+	// Value logging: the record carries the computed rows as literals, not
+	// the client's SQL, so redo never re-evaluates an expression.
+	if n > 0 {
+		s.eng.logAppend(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecInsert,
+			DB: s.db.Name, Table: st.Table, Data: renderInsert(schema, st.Table, inserted)})
+	}
 	return &Result{Affected: n, Tag: fmt.Sprintf("INSERT %d", n)}, nil
 }
 
@@ -153,11 +184,13 @@ func (s *Session) execUpdate(st *sqlmini.Update, sql string) (*Result, error) {
 			return nil, err
 		}
 		if ok {
+			// One record per row, carrying the row's final image keyed by
+			// primary key: replaying the client's predicate could match
+			// different rows at redo time; the literal image cannot.
+			s.eng.logAppend(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecUpdate,
+				DB: s.db.Name, Table: st.Table, Data: renderUpdateRow(schema, st.Table, newRow)})
 			n++
 		}
-	}
-	if n > 0 {
-		s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecUpdate, DB: s.db.Name, Table: st.Table, Data: sql})
 	}
 	return &Result{Affected: n, Tag: fmt.Sprintf("UPDATE %d", n)}, nil
 }
@@ -178,13 +211,76 @@ func (s *Session) execDelete(st *sqlmini.Delete, sql string) (*Result, error) {
 			return nil, err
 		}
 		if ok {
+			s.eng.logAppend(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecDelete,
+				DB: s.db.Name, Table: st.Table, Data: renderDeleteRow(tb.Schema, st.Table, old)})
 			n++
 		}
 	}
-	if n > 0 {
-		s.eng.log.Append(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecDelete, DB: s.db.Name, Table: st.Table, Data: sql})
-	}
 	return &Result{Affected: n, Tag: fmt.Sprintf("DELETE %d", n)}, nil
+}
+
+// The render helpers produce the self-contained redo statements the WAL
+// carries: literal values only, rows addressed by primary key. See the
+// wal.Unit doc for why this (plus commit-order replay) is state-exact under
+// snapshot isolation where raw client SQL would not be.
+
+func renderInsert(schema *storage.Schema, table string, rows []storage.Row) string {
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(table)
+	sb.WriteString(" (")
+	for i, c := range schema.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteString(") VALUES ")
+	for i, r := range rows {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString("(")
+		for j, v := range r {
+			if j > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(v.String())
+		}
+		sb.WriteString(")")
+	}
+	return sb.String()
+}
+
+func renderUpdateRow(schema *storage.Schema, table string, row storage.Row) string {
+	var sb strings.Builder
+	sb.WriteString("UPDATE ")
+	sb.WriteString(table)
+	sb.WriteString(" SET ")
+	for i, c := range schema.Columns {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(c.Name)
+		sb.WriteString(" = ")
+		sb.WriteString(row[i].String())
+	}
+	sb.WriteString(" WHERE ")
+	sb.WriteString(schema.Columns[schema.PKIndex()].Name)
+	sb.WriteString(" = ")
+	sb.WriteString(schema.PK(row).String())
+	return sb.String()
+}
+
+func renderDeleteRow(schema *storage.Schema, table string, row storage.Row) string {
+	var sb strings.Builder
+	sb.WriteString("DELETE FROM ")
+	sb.WriteString(table)
+	sb.WriteString(" WHERE ")
+	sb.WriteString(schema.Columns[schema.PKIndex()].Name)
+	sb.WriteString(" = ")
+	sb.WriteString(schema.PK(row).String())
+	return sb.String()
 }
 
 // matchRows returns the rows visible to s.txn satisfying where: via the

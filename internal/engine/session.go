@@ -36,6 +36,7 @@ type Session struct {
 	txn     *mvcc.Txn // nil until the first statement after BEGIN
 	inTxn   bool      // explicit BEGIN seen
 	txnFail bool      // a statement inside the txn errored
+	ddl     bool      // a DDL record was logged in the current txn scope
 }
 
 // NewSession opens a session on the named tenant database.
@@ -57,6 +58,7 @@ func (s *Session) InTxn() bool { return s.inTxn }
 func (s *Session) Close() {
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.logAbort(s.txn)
 		s.db.noteAbort(false)
 	}
 	s.txn = nil
@@ -105,8 +107,10 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	s.ensureTxn()
 	res, err := s.execStatement(st, sql)
 	if err != nil {
-		s.txn.Abort()
+		txn := s.txn
 		s.txn = nil
+		txn.Abort()
+		s.logAbort(txn)
 		s.db.noteAbort(errors.Is(err, mvcc.ErrSerialization))
 		return nil, err
 	}
@@ -134,6 +138,7 @@ func (s *Session) poison(conflict bool) {
 	s.txnFail = true
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.logAbort(s.txn)
 		s.db.noteAbort(conflict)
 	}
 }
@@ -168,22 +173,45 @@ func (s *Session) execCommit() (*Result, error) {
 }
 
 // commitTxn commits s.txn: update transactions pay a WAL fsync first
-// (group-committable), then become visible.
+// (group-committable), then become visible. A transaction scope that logged
+// DDL pays the fsync even when its MVCC transaction is read-only — the DDL
+// records must be durable before the client is told the statement stuck.
+//
+// The whole commit point — commit record, fsync, MVCC commit — runs under
+// ckptMu's read side, so a checkpoint's exclusive section can never observe
+// a commit that is durable but not yet visible (or vice versa); that
+// equivalence is what makes "replay units past the checkpoint LSN" exact.
 func (s *Session) commitTxn() (mvcc.CSN, error) {
 	txn := s.txn
 	s.txn = nil
+	ddl := s.ddl
+	s.ddl = false
 	if txn == nil || txn.Done() {
 		return 0, nil
 	}
-	if txn.IsUpdate() {
-		s.eng.log.Append(wal.Record{TxnID: uint64(txn.ID), Kind: wal.RecCommit, DB: s.db.Name})
-		if err := s.eng.log.Commit(); err != nil {
-			txn.Abort()
+	if !txn.IsUpdate() && !ddl {
+		// Read-only: no WAL interaction, no checkpoint ordering needed.
+		csn, err := txn.Commit()
+		if err != nil {
 			s.db.noteAbort(false)
-			return 0, err
+			return csn, err
 		}
+		s.db.noteCommit()
+		return csn, nil
+	}
+	s.eng.ckptMu.RLock()
+	if txn.IsUpdate() {
+		s.eng.logAppend(wal.Record{TxnID: uint64(txn.ID), Kind: wal.RecCommit, DB: s.db.Name})
+	}
+	if err := s.eng.logCommit(); err != nil {
+		s.eng.ckptMu.RUnlock()
+		txn.Abort()
+		s.logAbort(txn)
+		s.db.noteAbort(false)
+		return 0, err
 	}
 	csn, err := txn.Commit()
+	s.eng.ckptMu.RUnlock()
 	if err != nil {
 		s.db.noteAbort(false)
 		return csn, err
@@ -192,12 +220,24 @@ func (s *Session) commitTxn() (mvcc.CSN, error) {
 	return csn, nil
 }
 
+// logAbort records an abort for an update transaction so the log's
+// open-transaction accounting can retire segments promptly. Aborts are never
+// fsynced: losing one is harmless, because replay drops any transaction
+// without a durable commit record.
+func (s *Session) logAbort(txn *mvcc.Txn) {
+	if txn != nil && txn.IsUpdate() {
+		s.eng.logAppend(wal.Record{TxnID: uint64(txn.ID), Kind: wal.RecAbort, DB: s.db.Name})
+	}
+	s.ddl = false
+}
+
 func (s *Session) execRollback() (*Result, error) {
 	if !s.inTxn {
 		return nil, fmt.Errorf("engine: ROLLBACK outside a transaction block")
 	}
 	if s.txn != nil && !s.txn.Done() {
 		s.txn.Abort()
+		s.logAbort(s.txn)
 		s.db.noteAbort(false)
 	}
 	s.inTxn = false
@@ -237,6 +277,12 @@ func (s *Session) execMeta(sql string) (*Result, bool, error) {
 			return nil, true, err
 		}
 		return &Result{Tag: "DROP DATABASE"}, true, nil
+	case head == "CHECKPOINT" && len(fields) == 1:
+		lsn, err := s.eng.Checkpoint()
+		if err != nil {
+			return nil, true, err
+		}
+		return &Result{Tag: fmt.Sprintf("CHECKPOINT %d", lsn)}, true, nil
 	case head == "VACUUM" && len(fields) == 1:
 		removed := 0
 		horizon := s.db.mgr.Horizon()

@@ -3,6 +3,8 @@
 package wal
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -61,4 +63,29 @@ func TestLSNMonotonicViolationPanics(t *testing.T) {
 		}
 	}()
 	l.Append(Record{Kind: RecInsert})
+}
+
+// TestReplayLSNRegressionPanics proves Replay's LSN-monotonicity assertion
+// is live: a doctored segment whose records regress (LSN 5 followed by
+// LSN 3 — a scribbled disk or a bug in segment ordering) must panic during
+// the replay scan rather than silently redo out of order.
+func TestReplayLSNRegressionPanics(t *testing.T) {
+	dir := t.TempDir()
+	var buf []byte
+	buf = encodeRecord(buf, Record{LSN: 5, TxnID: 0, Kind: RecDDL, DB: "db", Data: "DDL a"})
+	buf = encodeRecord(buf, Record{LSN: 3, TxnID: 0, Kind: RecDDL, DB: "db", Data: "DDL b"})
+	if err := os.WriteFile(filepath.Join(dir, segmentName(1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(Options{Mode: SerialCommit, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected the replay LSN monotonicity assertion to panic")
+		}
+	}()
+	l.Replay(func(Unit) error { return nil })
 }

@@ -10,7 +10,7 @@ go build ./...
 go vet ./...
 go run ./cmd/madeusvet ./...
 go test -race -count=1 ./...
-go test -tags invariants -count=1 ./internal/wal/ ./internal/mvcc/ ./internal/lsir/
+go test -tags invariants -count=1 ./internal/wal/ ./internal/mvcc/ ./internal/lsir/ ./internal/engine/
 
 # Observability gate: race-check the obs layer and the instrumented core on
 # their own (fast signal when the full suite above is skipped or edited),
@@ -54,6 +54,18 @@ go test -count=1 -run 'TestHeavyWriteMigrationConvergesWithPacing' ./internal/co
 go test -tags faultinject -race -count=1 -run 'TestChaosAdmission|TestChaosInjected|TestChaosHungSlave' ./internal/core/
 go test -count=1 -run 'TestFlowDisabledOverhead' .
 
+# Crash-recovery gate: the deterministic crash-torture sweep (every fsync and
+# record boundary, torn tails, multi-segment rotation) and the engine
+# checkpoint/redo recovery suite under -race, the kill-and-restart chaos
+# scenarios (source crash mid-Step-3, destination crash discarding partial
+# slave state per Sec 4.2) under faultinject, and a benchrunner recovery
+# smoke so the recovery-time ablation path stays alive.
+go test -race -count=1 -run 'TestCrashTorture|TestReplay|TestTornTail' ./internal/wal/
+go test -race -count=1 -run 'TestRecover|TestGracefulClose|TestCheckpoint' ./internal/engine/
+go test -tags faultinject -race -count=1 -run 'TestChaosSourceCrashMidStep3Restart|TestChaosDestCrashRestartDiscardsPartialSlave' ./internal/core/
+go run ./cmd/benchrunner -exp recovery -quick -json /tmp/bench_recovery_smoke.json >/dev/null
+rm -f /tmp/bench_recovery_smoke.json
+
 # Static-analysis gate: the interprocedural checker with every rule enabled
 # (lockorder, holdblock, tagparity, staleignore included — DESIGN.md §5f),
 # its golden fixtures plus loader cache/degraded-mode tests, the tag matrix
@@ -61,7 +73,7 @@ go test -count=1 -run 'TestFlowDisabledOverhead' .
 # keeps the pairs' exported surfaces identical, the matrix keeps them
 # compiling), and a benchrunner -json smoke so the BENCH_*.json baseline
 # path stays alive.
-go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,obsname,staleignore ./...
+go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,obsname,fsyncack,staleignore ./...
 go test -count=1 ./internal/analysis/
 go build -tags invariants ./...
 go build -tags "invariants faultinject" ./...
