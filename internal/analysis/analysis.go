@@ -116,6 +116,7 @@ func All() []*Analyzer {
 		InvariantCall,
 		TimerChurn,
 		LockOrder,
+		StripeOrder,
 		HoldBlock,
 		TagParity,
 		ObsName,

@@ -82,6 +82,12 @@ func lockOrderFindings(prog *Program) []Diagnostic {
 			if e.fromMeth == "RLock" && (e.toMeth == "RLock" || e.toMeth == "") {
 				continue // shared-mode re-entry
 			}
+			if fromRanked && fromRank.Striped {
+				// Striped locks have many instances: acquiring another
+				// stripe of the same field is legal when index-ordered.
+				// The stripeorder analyzer owns that discipline.
+				continue
+			}
 			msg = fmt.Sprintf("re-acquires %s already held since %s — self-deadlock%s",
 				prog.lockDesc(e.to, ""), prog.position(e.fn, e.pos), chainText(e))
 		case fromRanked && toRanked && toRank.Rank <= fromRank.Rank:

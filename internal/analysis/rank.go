@@ -32,10 +32,11 @@ const RankSession = 30
 
 // LockRank is one annotated mutex declaration.
 type LockRank struct {
-	Name string
-	Rank int
-	Obj  types.Object // the mutex field or package-level var
-	Pos  token.Pos
+	Name    string
+	Rank    int
+	Striped bool // many instances striped by hash; index-ordered cross-stripe sections allowed
+	Obj     types.Object // the mutex field or package-level var
+	Pos     token.Pos
 }
 
 // RankTable indexes the lockrank annotations of one Program.
@@ -86,9 +87,9 @@ func collectFileRanks(t *RankTable, pkg *Package, f *ast.File) {
 		if !ok {
 			return
 		}
-		rankName, rank, err := parseLockrank(dir)
+		rankName, rank, striped, err := parseLockrank(dir)
 		if err != "" {
-			problem(pos, "bad lockrank directive: %s (want //madeusvet:lockrank <name> <rank>)", err)
+			problem(pos, "bad lockrank directive: %s (want //madeusvet:lockrank <name> <rank> [striped])", err)
 			return
 		}
 		if pkg.Info == nil {
@@ -109,7 +110,7 @@ func collectFileRanks(t *RankTable, pkg *Package, f *ast.File) {
 				rankName, rank, prev.Rank, pkg.Fset.Position(prev.Pos))
 			return
 		}
-		lr := LockRank{Name: rankName, Rank: rank, Obj: obj, Pos: pos}
+		lr := LockRank{Name: rankName, Rank: rank, Striped: striped, Obj: obj, Pos: pos}
 		t.byObj[obj] = lr
 		t.byName[rankName] = lr
 	}
@@ -157,14 +158,24 @@ func lockrankIn(groups []*ast.CommentGroup) (args string, pos token.Pos, ok bool
 	return "", token.NoPos, false
 }
 
-func parseLockrank(args string) (name string, rank int, errMsg string) {
+// parseLockrank parses `<name> <rank>` with an optional trailing `striped`
+// marker. Striped locks have many instances selected by hash; the
+// stripeorder analyzer owns their cross-stripe acquisition discipline.
+func parseLockrank(args string) (name string, rank int, striped bool, errMsg string) {
 	fields := strings.Fields(args)
-	if len(fields) != 2 {
-		return "", 0, "want exactly <name> <rank>"
+	switch len(fields) {
+	case 2:
+	case 3:
+		if fields[2] != "striped" {
+			return "", 0, false, "unknown marker " + strconv.Quote(fields[2]) + " (only \"striped\" is recognized)"
+		}
+		striped = true
+	default:
+		return "", 0, false, "want <name> <rank> [striped]"
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil {
-		return "", 0, "rank " + strconv.Quote(fields[1]) + " is not an integer"
+		return "", 0, false, "rank " + strconv.Quote(fields[1]) + " is not an integer"
 	}
-	return fields[0], n, ""
+	return fields[0], n, striped, ""
 }

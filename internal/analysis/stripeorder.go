@@ -1,0 +1,184 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// StripeOrder pins the cross-stripe acquisition discipline for locks
+// declared `//madeusvet:lockrank <name> <rank> striped` (DESIGN.md §5i):
+// many instances of one mutex field, selected by key hash. Holding several
+// stripes at once is deadlock-safe only when every cross-stripe section
+// walks the stripes in ascending index order, so:
+//
+//   - acquiring a striped lock inside a loop WITHOUT releasing it in the
+//     same loop body is a cross-stripe section; the enclosing function
+//     must declare the discipline with a `//madeusvet:stripeorder` doc
+//     directive, and the loop must visibly ascend (a range loop, or a for
+//     loop with an increment post-statement);
+//   - a `//madeusvet:stripeorder` directive on a function with no such
+//     section is stale and reported, mirroring the staleignore contract.
+//
+// Per-stripe sweeps (lock+unlock inside one iteration, e.g. vacuum or the
+// horizon scan) hold at most one stripe and need no directive. The
+// lockorder analyzer defers same-object re-acquisition of striped locks to
+// this rule.
+var StripeOrder = &Analyzer{
+	Name: "stripeorder",
+	Doc:  "cross-stripe lock sections must be declared //madeusvet:stripeorder and walk stripes in ascending index order",
+	Run:  runStripeOrder,
+}
+
+const stripeOrderDirective = "madeusvet:stripeorder"
+
+func runStripeOrder(pass *Pass) {
+	if pass.Prog == nil || pass.Info == nil {
+		return // degraded load: no rank table or no resolution
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			marked := hasStripeOrderDirective(fd.Doc)
+			cross := reportStripeLoops(pass, fd, marked)
+			if marked && !cross {
+				pass.Reportf(fd.Pos(), "stale //madeusvet:stripeorder: %s performs no cross-stripe acquisition; delete the directive", fd.Name.Name)
+			}
+		}
+	}
+}
+
+func hasStripeOrderDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == stripeOrderDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// reportStripeLoops walks fn's body, flags undisciplined cross-stripe
+// sections, and reports whether any cross-stripe section (flagged or not)
+// exists — the staleness signal for the directive.
+func reportStripeLoops(pass *Pass, fd *ast.FuncDecl, marked bool) (cross bool) {
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		ascending := false
+		switch loop := n.(type) {
+		case *ast.FuncLit:
+			return false // a literal runs elsewhere; analyzed via its own enclosing decl walk only
+		case *ast.RangeStmt:
+			body = loop.Body
+			ascending = true // range over a slice visits indices in order
+		case *ast.ForStmt:
+			body = loop.Body
+			ascending = forAscends(loop)
+		default:
+			return true
+		}
+		for _, acq := range stripeAcquisitions(pass, body) {
+			cross = true
+			switch {
+			case !marked:
+				pass.Reportf(acq.pos, "cross-stripe section: %s (striped lock) acquired across loop iterations; annotate the function //madeusvet:stripeorder and walk stripes in ascending index order", acq.rank.Name)
+			case !ascending:
+				pass.Reportf(acq.pos, "cross-stripe section over %s must walk stripes in ascending index order (range loop or increment post-statement)", acq.rank.Name)
+			}
+		}
+		return true // nested loops are visited as loops in their own right
+	}
+	ast.Inspect(fd.Body, walk)
+	return cross
+}
+
+// forAscends reports whether a for loop visibly ascends: its post
+// statement increments the induction variable.
+func forAscends(loop *ast.ForStmt) bool {
+	post, ok := loop.Post.(*ast.IncDecStmt)
+	return ok && post.Tok == token.INC
+}
+
+type stripeAcq struct {
+	pos  token.Pos
+	rank LockRank
+}
+
+// stripeAcquisitions returns the striped-lock Lock/RLock calls directly
+// inside body (not in nested loops or func literals) that have no
+// matching release in the same body — i.e. acquisitions that accumulate
+// across iterations.
+func stripeAcquisitions(pass *Pass, body *ast.BlockStmt) []stripeAcq {
+	var acqs []stripeAcq
+	released := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := stripedLockObj(pass, sel.X)
+			if obj == nil {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Lock", "RLock":
+				rank, _ := pass.Prog.Ranks.Rank(obj)
+				acqs = append(acqs, stripeAcq{pos: n.Pos(), rank: rank})
+			case "Unlock", "RUnlock":
+				released[obj] = true
+			}
+		}
+		return true
+	})
+	held := acqs[:0]
+	for _, a := range acqs {
+		rankObj := a.rank.Obj
+		if rankObj != nil && released[rankObj] {
+			continue // per-stripe sweep: released within the iteration
+		}
+		held = append(held, a)
+	}
+	return held
+}
+
+// stripedLockObj resolves a mutex expression and returns its declaration
+// object when it carries a striped lockrank annotation.
+func stripedLockObj(pass *Pass, e ast.Expr) types.Object {
+	var obj types.Object
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj = pass.Info.Uses[e]
+		if obj == nil {
+			obj = pass.Info.Defs[e]
+		}
+	case *ast.SelectorExpr:
+		if sel := pass.Info.Selections[e]; sel != nil {
+			obj = sel.Obj()
+		} else {
+			obj = pass.Info.Uses[e.Sel]
+		}
+	case *ast.ParenExpr:
+		return stripedLockObj(pass, e.X)
+	case *ast.StarExpr:
+		return stripedLockObj(pass, e.X)
+	}
+	if obj == nil {
+		return nil
+	}
+	if rank, ok := pass.Prog.Ranks.Rank(obj); !ok || !rank.Striped {
+		return nil
+	}
+	return obj
+}

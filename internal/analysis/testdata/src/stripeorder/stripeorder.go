@@ -1,0 +1,84 @@
+// Package stripeorder exercises the stripeorder analyzer: striped locks
+// (lockrank marker `striped`) acquired across loop iterations require a
+// //madeusvet:stripeorder directive and an ascending walk; per-stripe
+// sweeps and plain locks in loops are exempt; a directive on a function
+// with no cross-stripe section is stale.
+package stripeorder
+
+import "sync"
+
+type stripe struct {
+	mu   sync.Mutex //madeusvet:lockrank so-stripe 10 striped
+	rows map[int]int
+}
+
+type table struct {
+	stripes []stripe
+
+	plain sync.Mutex //madeusvet:lockrank so-plain 20
+}
+
+// lockAll is the sanctioned cross-stripe section: annotated, ascending.
+//
+//madeusvet:stripeorder
+func (t *table) lockAll() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+	}
+}
+
+// unlockAll releases in reverse; releases alone are never a section.
+func (t *table) unlockAll() {
+	for i := len(t.stripes) - 1; i >= 0; i-- {
+		t.stripes[i].mu.Unlock()
+	}
+}
+
+// lockAllUnmarked accumulates stripes without declaring the discipline.
+func (t *table) lockAllUnmarked() {
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock() // want
+	}
+}
+
+// lockAllDescending declares the discipline but walks backwards.
+//
+//madeusvet:stripeorder
+func (t *table) lockAllDescending() {
+	for i := len(t.stripes) - 1; i >= 0; i-- {
+		t.stripes[i].mu.Lock() // want
+	}
+}
+
+// sweep holds at most one stripe at a time: lock and unlock inside the
+// same iteration is not a cross-stripe section.
+func (t *table) sweep() int {
+	n := 0
+	for i := range t.stripes {
+		t.stripes[i].mu.Lock()
+		n += len(t.stripes[i].rows)
+		t.stripes[i].mu.Unlock()
+	}
+	return n
+}
+
+// plainLoop locks an unstriped mutex in a loop — lockorder territory, not
+// ours.
+func (t *table) plainLoop() {
+	for i := 0; i < 3; i++ {
+		t.plain.Lock()
+		t.plain.Unlock()
+	}
+}
+
+// singleStripe acquires one stripe outside any loop.
+func (t *table) singleStripe(i int) {
+	t.stripes[i].mu.Lock()
+	t.stripes[i].mu.Unlock()
+}
+
+//madeusvet:stripeorder
+func (t *table) staleMarker() { // want
+	t.plain.Lock()
+	t.plain.Unlock()
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"madeus/internal/cluster"
+	"madeus/internal/core"
+	"madeus/internal/engine"
+	"madeus/internal/metrics"
+	"madeus/internal/tpcw"
+	"madeus/internal/wal"
+)
+
+// AblationHotpath isolates the per-tenant hot path work of this repo's
+// sharding pass: striped MVCC state + row stripes, the parse cache, and
+// batched WAL encoding, versus the unsharded single-mutex baseline
+// (MVCCStripes=1, parse cache off, LegacyReads on — the pre-sharding
+// configuration, reproducible because one stripe degenerates to one lock
+// and LegacyReads restores the old copy-on-read, sort-per-scan read path).
+//
+// Two measurements per leg:
+//
+//   - Throughput: the paper's 700-EB heavy ordering mix driven at
+//     in-process engine sessions with zero think time and zero simulated
+//     CPU/fsync cost, so lock contention and per-statement parsing are the
+//     bottleneck rather than the simulated hardware. This is deliberately
+//     NOT a paper figure: it measures the middleware-visible engine hot
+//     path, not the scaled testbed.
+//   - Suspension: a Madeus migration under the normal calibrated heavy
+//     load (same shape as fig7), to pin that the sharding pass leaves the
+//     Step-4 suspension window unchanged.
+func AblationHotpath(cfg Config) (*Table, error) {
+	t := &Table{
+		Title:  "Ablation: per-tenant hot path, 700-EB heavy ordering mix",
+		Header: []string{"hot path", "ops/s", "speedup", "suspension"},
+	}
+	legs := []struct {
+		name    string
+		stripes int  // engine.Options.MVCCStripes
+		pcache  int  // engine.Options.ParseCacheSize
+		legacy  bool // engine.Options.LegacyReads
+	}{
+		{"legacy: 1 stripe, clone+sort reads, no cache", 1, -1, true},
+		{"sharded: stripes + spine + cache", 0, 0, false}, // 0 = package defaults
+	}
+	var base float64
+	for _, lg := range legs {
+		ops, err := hotpathThroughput(cfg, lg.stripes, lg.pcache, lg.legacy)
+		if err != nil {
+			return nil, err
+		}
+		susp, err := hotpathSuspension(cfg, lg.stripes, lg.pcache, lg.legacy)
+		if err != nil {
+			return nil, err
+		}
+		speedup := "1.00x"
+		if base == 0 {
+			base = ops
+		} else if base > 0 {
+			speedup = fmt.Sprintf("%.2fx", ops/base)
+		}
+		t.AddRow(lg.name, fmt.Sprintf("%.0f", ops), speedup, fmtDur(susp))
+	}
+	t.Note("throughput leg: in-process sessions, think=0, no simulated CPU/fsync — engine hot path only")
+	t.Note("suspension leg: calibrated fig7-style migration; striping must not move the Step-4 window")
+	return t, nil
+}
+
+// hotpathThroughput measures successful TPC-W interactions per second
+// against a single in-process engine configured with the given stripe and
+// parse-cache knobs and none of the simulated hardware costs.
+func hotpathThroughput(cfg Config, stripes, pcache int, legacy bool) (float64, error) {
+	opts := cfg.engineOptions()
+	opts.StmtCost = 0
+	opts.ExecSlots = 0 // unbounded: the real lock contention is the subject
+	opts.WAL = wal.Options{Mode: wal.GroupCommit}
+	opts.MVCCStripes = stripes
+	opts.ParseCacheSize = pcache
+	opts.LegacyReads = legacy
+	e := engine.New(opts)
+	defer e.Close()
+	if err := e.CreateDatabase("tenantA"); err != nil {
+		return 0, err
+	}
+	loader, err := e.NewSession("tenantA")
+	if err != nil {
+		return 0, err
+	}
+	scale := tpcw.ScaleFor(100000, PaperLightEBs, cfg.RowFactor)
+	if err := tpcw.Load(loader, scale); err != nil {
+		return 0, err
+	}
+
+	rec := metrics.NewRecorder()
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.Warm+cfg.Measure)
+	defer cancel()
+	err = tpcw.RunFleet(ctx, cfg.EBs(PaperHeavyEBs), tpcw.Ordering, scale, 0,
+		func() (tpcw.Execer, error) { return e.NewSession("tenantA") }, rec)
+	if err != nil {
+		return 0, err
+	}
+	return rec.Summarize().Throughput, nil
+}
+
+// hotpathSuspension runs one Madeus migration under the calibrated heavy
+// load with the leg's engine knobs and returns the Step-4 suspension
+// window.
+func hotpathSuspension(cfg Config, stripes, pcache int, legacy bool) (time.Duration, error) {
+	mw, err := core.New(core.Options{Players: cfg.Players, CatchupTimeout: cfg.CatchupTimeout})
+	if err != nil {
+		return 0, err
+	}
+	nodeOpts := cfg.engineOptions()
+	nodeOpts.MVCCStripes = stripes
+	nodeOpts.ParseCacheSize = pcache
+	nodeOpts.LegacyReads = legacy
+	src, err := cluster.NewNode("node0", cluster.NodeOptions{Engine: nodeOpts})
+	if err != nil {
+		mw.Close()
+		return 0, err
+	}
+	dst, err := cluster.NewNode("node1", cluster.NodeOptions{Engine: nodeOpts})
+	if err != nil {
+		src.Close()
+		mw.Close()
+		return 0, err
+	}
+	mw.AddNode(src)
+	mw.AddNode(dst)
+	h := &Harness{cfg: cfg, MW: mw, Nodes: []*cluster.Node{src, dst}}
+	defer h.Close()
+
+	scale := tpcw.ScaleFor(100000, PaperLightEBs, cfg.RowFactor)
+	if err := h.Provision("tenantA", "node0", scale); err != nil {
+		return 0, err
+	}
+	rep, _, err := h.MigrateUnderLoad("tenantA", "node1", cfg.EBs(PaperHeavyEBs),
+		tpcw.Ordering, scale, core.MigrateOptions{Strategy: core.Madeus})
+	if err != nil {
+		return 0, err
+	}
+	return rep.SuspensionWindow, nil
+}

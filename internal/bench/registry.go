@@ -107,6 +107,14 @@ func Experiments() []Experiment {
 			t.Fprint(w)
 			return nil
 		}},
+		{"hotpath", "hot-path sharding ablation: striped MVCC + parse cache vs unsharded baseline (extra, not a paper figure)", func(cfg Config, w io.Writer) error {
+			t, err := AblationHotpath(cfg)
+			if err != nil {
+				return err
+			}
+			t.Fprint(w)
+			return nil
+		}},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].ID < exps[j].ID })
 	return exps

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 
@@ -66,6 +67,7 @@ func (s *Session) execCreateTable(st *sqlmini.CreateTable, sql string) (*Result,
 		return nil, fmt.Errorf("engine: table %q already exists", st.Table)
 	}
 	s.db.tables[st.Table] = mvcc.NewTable(schema, s.db.mgr)
+	s.db.pcache.InvalidateTable(st.Table)
 	s.logDDL(st.Table, sql)
 	return &Result{Tag: "CREATE TABLE"}, nil
 }
@@ -79,6 +81,7 @@ func (s *Session) execDropTable(st *sqlmini.DropTable, sql string) (*Result, err
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
 	delete(s.db.tables, st.Table)
+	s.db.pcache.InvalidateTable(st.Table)
 	s.logDDL(st.Table, sql)
 	return &Result{Tag: "DROP TABLE"}, nil
 }
@@ -93,6 +96,7 @@ func (s *Session) execCreateIndex(st *sqlmini.CreateIndex, sql string) (*Result,
 	if err := tb.CreateIndex(st.Name, st.Column); err != nil {
 		return nil, err
 	}
+	s.db.pcache.InvalidateTable(st.Table)
 	s.logDDL(st.Table, sql)
 	return &Result{Tag: "CREATE INDEX"}, nil
 }
@@ -107,6 +111,7 @@ func (s *Session) execDropIndex(st *sqlmini.DropIndex, sql string) (*Result, err
 	if err := tb.DropIndex(st.Name); err != nil {
 		return nil, err
 	}
+	s.db.pcache.InvalidateTable(st.Table)
 	s.logDDL(st.Table, sql)
 	return &Result{Tag: "DROP INDEX"}, nil
 }
@@ -165,33 +170,39 @@ func (s *Session) execUpdate(st *sqlmini.Update, sql string) (*Result, error) {
 			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, a.Column)
 		}
 	}
-	matches, err := s.matchRows(tb, st.Where)
+	matches, err := s.matchRows(tb, st.Where, -1)
 	if err != nil {
 		return nil, err
 	}
 	n := 0
+	recs := s.walBatch[:0]
 	for _, old := range matches {
 		newRow := old.Clone()
 		for _, a := range st.Set {
 			v, err := evalExpr(a.Value, schema, old)
 			if err != nil {
+				s.walBatch = recs[:0]
 				return nil, err
 			}
 			newRow[schema.ColumnIndex(a.Column)] = v
 		}
 		ok, err := tb.Update(s.txn, schema.PK(old), newRow)
 		if err != nil {
+			s.walBatch = recs[:0]
 			return nil, err
 		}
 		if ok {
 			// One record per row, carrying the row's final image keyed by
 			// primary key: replaying the client's predicate could match
-			// different rows at redo time; the literal image cannot.
-			s.eng.logAppend(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecUpdate,
+			// different rows at redo time; the literal image cannot. The
+			// rows of one statement go to the log as a single batch.
+			recs = append(recs, wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecUpdate,
 				DB: s.db.Name, Table: st.Table, Data: renderUpdateRow(schema, st.Table, newRow)})
 			n++
 		}
 	}
+	s.eng.logAppendBatch(recs)
+	s.walBatch = recs[:0]
 	return &Result{Affected: n, Tag: fmt.Sprintf("UPDATE %d", n)}, nil
 }
 
@@ -200,22 +211,26 @@ func (s *Session) execDelete(st *sqlmini.Delete, sql string) (*Result, error) {
 	if !ok {
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
-	matches, err := s.matchRows(tb, st.Where)
+	matches, err := s.matchRows(tb, st.Where, -1)
 	if err != nil {
 		return nil, err
 	}
 	n := 0
+	recs := s.walBatch[:0]
 	for _, old := range matches {
 		ok, err := tb.Delete(s.txn, tb.Schema.PK(old))
 		if err != nil {
+			s.walBatch = recs[:0]
 			return nil, err
 		}
 		if ok {
-			s.eng.logAppend(wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecDelete,
+			recs = append(recs, wal.Record{TxnID: uint64(s.txn.ID), Kind: wal.RecDelete,
 				DB: s.db.Name, Table: st.Table, Data: renderDeleteRow(tb.Schema, st.Table, old)})
 			n++
 		}
 	}
+	s.eng.logAppendBatch(recs)
+	s.walBatch = recs[:0]
 	return &Result{Affected: n, Tag: fmt.Sprintf("DELETE %d", n)}, nil
 }
 
@@ -286,7 +301,12 @@ func renderDeleteRow(schema *storage.Schema, table string, row storage.Row) stri
 // matchRows returns the rows visible to s.txn satisfying where: via the
 // primary-key map when where pins the key with an equality, via a secondary
 // index when one covers an equality conjunct, and by a full scan otherwise.
-func (s *Session) matchRows(tb *mvcc.Table, where sqlmini.Expr) ([]storage.Row, error) {
+// matchRows returns the rows matching where. limit >= 0 stops the
+// full-scan path once that many matches are collected — sound only when
+// the caller applies no further ordering (a SELECT without ORDER BY
+// returns an arbitrary subset, and PK-ordered scanning keeps that subset
+// deterministic); callers that sort or mutate pass -1.
+func (s *Session) matchRows(tb *mvcc.Table, where sqlmini.Expr, limit int64) ([]storage.Row, error) {
 	schema := tb.Schema
 	if pk, ok := pkEquality(schema, where); ok {
 		row := tb.Get(s.txn, pk)
@@ -305,6 +325,9 @@ func (s *Session) matchRows(tb *mvcc.Table, where sqlmini.Expr) ([]storage.Row, 
 	if rows, ok, err := s.indexScan(tb, where); ok || err != nil {
 		return rows, err
 	}
+	if limit == 0 {
+		return nil, nil
+	}
 	var out []storage.Row
 	var scanErr error
 	tb.Scan(s.txn, func(r storage.Row) bool {
@@ -319,7 +342,7 @@ func (s *Session) matchRows(tb *mvcc.Table, where sqlmini.Expr) ([]storage.Row, 
 			}
 		}
 		out = append(out, r)
-		return true
+		return limit < 0 || int64(len(out)) < limit
 	})
 	if scanErr != nil {
 		return nil, scanErr
@@ -427,6 +450,29 @@ func coerceCol(schema *storage.Schema, col string, v sqlmini.Value) sqlmini.Valu
 	return v
 }
 
+// topK returns the first k rows of a stable sort of matches without
+// sorting the whole slice: one pass maintaining a sorted buffer of at
+// most k rows. Equal-key rows keep their scan order (a later equal row
+// never displaces an earlier one), matching sort-then-truncate.
+func topK(matches []storage.Row, k int, cmp func(a, b storage.Row) int) []storage.Row {
+	if k <= 0 {
+		return matches[:0]
+	}
+	buf := make([]storage.Row, 0, k)
+	for _, r := range matches {
+		if len(buf) == k && cmp(r, buf[k-1]) >= 0 {
+			continue
+		}
+		i := sort.Search(len(buf), func(i int) bool { return cmp(buf[i], r) > 0 })
+		if len(buf) < k {
+			buf = append(buf, nil)
+		}
+		copy(buf[i+1:], buf[i:len(buf)-1])
+		buf[i] = r
+	}
+	return buf
+}
+
 func coercePK(schema *storage.Schema, v sqlmini.Value) sqlmini.Value {
 	if schema.Columns[schema.PKIndex()].Type == sqlmini.KindFloat && v.Kind == sqlmini.KindInt {
 		return sqlmini.NewFloat(float64(v.Int))
@@ -440,19 +486,29 @@ func (s *Session) execSelect(st *sqlmini.Select) (*Result, error) {
 		return nil, fmt.Errorf("engine: table %q does not exist", st.Table)
 	}
 	schema := tb.Schema
-	matches, err := s.matchRows(tb, st.Where)
+	agg := len(st.Items) == 1 && st.Items[0].Aggregate != ""
+	if !agg {
+		for _, it := range st.Items {
+			if it.Aggregate != "" {
+				return nil, fmt.Errorf("engine: aggregates cannot be mixed with columns")
+			}
+		}
+	}
+
+	// Without ORDER BY or an aggregate, LIMIT can stop the scan early:
+	// the PK-ordered scan makes the returned prefix deterministic.
+	pushLimit := int64(-1)
+	if !agg && st.OrderBy == "" {
+		pushLimit = st.Limit
+	}
+	matches, err := s.matchRows(tb, st.Where, pushLimit)
 	if err != nil {
 		return nil, err
 	}
 
 	// Aggregate queries (single aggregate item).
-	if len(st.Items) == 1 && st.Items[0].Aggregate != "" {
+	if agg {
 		return aggregate(st.Items[0], schema, matches)
-	}
-	for _, it := range st.Items {
-		if it.Aggregate != "" {
-			return nil, fmt.Errorf("engine: aggregates cannot be mixed with columns")
-		}
 	}
 
 	// ORDER BY before projection so any column is sortable.
@@ -461,16 +517,24 @@ func (s *Session) execSelect(st *sqlmini.Select) (*Result, error) {
 		if ci < 0 {
 			return nil, fmt.Errorf("engine: table %q has no column %q", st.Table, st.OrderBy)
 		}
-		sort.SliceStable(matches, func(i, j int) bool {
-			c, err := matches[i][ci].Compare(matches[j][ci])
+		cmpRows := func(a, b storage.Row) int {
+			c, err := a[ci].Compare(b[ci])
 			if err != nil {
-				return false
+				return 0
 			}
 			if st.OrderDesc {
-				return c > 0
+				return -c
 			}
-			return c < 0
-		})
+			return c
+		}
+		if st.Limit >= 0 && st.Limit < int64(len(matches)) {
+			// ORDER BY ... LIMIT k (the best-seller query): one pass
+			// with a bounded insertion buffer instead of sorting the
+			// whole match set.
+			matches = topK(matches, int(st.Limit), cmpRows)
+		} else {
+			slices.SortStableFunc(matches, cmpRows)
+		}
 	}
 	if st.Limit >= 0 && int64(len(matches)) > st.Limit {
 		matches = matches[:st.Limit]

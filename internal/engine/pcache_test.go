@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestParseCacheSharedStatementConcurrent runs the same UPDATE text from
+// two sessions at once. Both sessions execute the identical cached AST, so
+// any mutation of the shared statement during execution is a data race
+// this test exposes under -race.
+func TestParseCacheSharedStatementConcurrent(t *testing.T) {
+	e := newTestEngine(t)
+	s1, _ := e.NewSession("shop")
+	s2, _ := e.NewSession("shop")
+	mustExec(t, s1, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s1, "INSERT INTO t (id, v) VALUES (1, 0)")
+	mustExec(t, s1, "INSERT INTO t (id, v) VALUES (2, 0)")
+
+	// Warm the cache so both goroutines hit the shared entry.
+	const upd1 = "UPDATE t SET v = v + 1 WHERE id = 1"
+	const upd2 = "UPDATE t SET v = v + 1 WHERE id = 2"
+	mustExec(t, s1, upd1)
+	mustExec(t, s1, upd2)
+
+	var wg sync.WaitGroup
+	run := func(s *Session, sql string) {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if _, err := s.Exec(sql); err != nil {
+				t.Errorf("Exec(%q): %v", sql, err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go run(s1, upd1)
+	go run(s2, upd2)
+	wg.Wait()
+
+	res := mustExec(t, s1, "SELECT v FROM t WHERE id = 1")
+	if res.Rows[0][0].Int != 201 {
+		t.Errorf("id=1 v = %v, want 201", res.Rows[0][0])
+	}
+	res = mustExec(t, s1, "SELECT v FROM t WHERE id = 2")
+	if res.Rows[0][0].Int != 201 {
+		t.Errorf("id=2 v = %v, want 201", res.Rows[0][0])
+	}
+	if st := s1.db.ParseCacheStats(); st.Hits == 0 {
+		t.Error("expected cache hits during the concurrent run")
+	}
+}
+
+// TestParseCacheDDLInvalidation checks that every DDL form flushes cached
+// statements targeting its table, and only those.
+func TestParseCacheDDLInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s, "CREATE TABLE b (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s, "INSERT INTO a (id, v) VALUES (1, 1)")
+	mustExec(t, s, "INSERT INTO b (id, v) VALUES (1, 1)")
+
+	cached := func(sql string) bool {
+		_, ok := s.db.pcache.Get(sql)
+		return ok
+	}
+	warm := func() {
+		mustExec(t, s, "SELECT v FROM a WHERE id = 1")
+		mustExec(t, s, "SELECT v FROM b WHERE id = 1")
+	}
+
+	warm()
+	mustExec(t, s, "CREATE INDEX av ON a (v)")
+	if cached("SELECT v FROM a WHERE id = 1") {
+		t.Error("CREATE INDEX did not flush cached statements on a")
+	}
+	if !cached("SELECT v FROM b WHERE id = 1") {
+		t.Error("CREATE INDEX on a flushed statements on b")
+	}
+
+	warm()
+	mustExec(t, s, "DROP INDEX av ON a")
+	if cached("SELECT v FROM a WHERE id = 1") {
+		t.Error("DROP INDEX did not flush cached statements on a")
+	}
+
+	warm()
+	mustExec(t, s, "DROP TABLE a")
+	if cached("SELECT v FROM a WHERE id = 1") {
+		t.Error("DROP TABLE did not flush cached statements on a")
+	}
+	if !cached("SELECT v FROM b WHERE id = 1") {
+		t.Error("DROP TABLE a flushed statements on b")
+	}
+
+	// Re-creating a flushes again (a statement cached between DROP and
+	// CREATE would otherwise survive into the new table's lifetime).
+	mustExec(t, s, "SELECT v FROM b WHERE id = 1")
+	mustExec(t, s, "CREATE TABLE a (id INT PRIMARY KEY, v INT)")
+	if cached("SELECT v FROM a WHERE id = 1") {
+		t.Error("CREATE TABLE did not flush cached statements on a")
+	}
+}
+
+// TestParseCacheDisabled runs a session with caching off; everything still
+// works and stats stay zero (the hotpath ablation's baseline leg).
+func TestParseCacheDisabled(t *testing.T) {
+	e := New(Options{LockTimeout: time.Second, ParseCacheSize: -1})
+	t.Cleanup(e.Close)
+	if err := e.CreateDatabase("shop"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s, "INSERT INTO t (id, v) VALUES (1, 7)")
+	for i := 0; i < 3; i++ {
+		res := mustExec(t, s, "SELECT v FROM t WHERE id = 1")
+		if res.Rows[0][0].Int != 7 {
+			t.Fatalf("v = %v", res.Rows[0][0])
+		}
+	}
+	if st := s.db.ParseCacheStats(); st.Hits != 0 || st.Misses != 0 || st.Len != 0 {
+		t.Errorf("disabled cache reported activity: %+v", st)
+	}
+}
+
+// TestParseCacheBoundedUnderChurn: distinct statement texts beyond the
+// cache capacity never grow the map past the bound.
+func TestParseCacheBoundedUnderChurn(t *testing.T) {
+	e := New(Options{LockTimeout: time.Second, ParseCacheSize: 32})
+	t.Cleanup(e.Close)
+	if err := e.CreateDatabase("shop"); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := e.NewSession("shop")
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	for i := 0; i < 500; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i))
+	}
+	if st := s.db.ParseCacheStats(); st.Len > 32 {
+		t.Errorf("cache grew past capacity: %+v", st)
+	}
+}

@@ -37,6 +37,11 @@ type Session struct {
 	inTxn   bool      // explicit BEGIN seen
 	txnFail bool      // a statement inside the txn errored
 	ddl     bool      // a DDL record was logged in the current txn scope
+
+	// walBatch is the per-statement record accumulator, reused across
+	// statements (sessions are single-goroutine) so multi-row UPDATEs and
+	// DELETEs append to the log in one batch without reallocating.
+	walBatch []wal.Record
 }
 
 // NewSession opens a session on the named tenant database.
@@ -77,10 +82,15 @@ func (s *Session) Exec(sql string) (*Result, error) {
 	if meta, handled, err := s.execMeta(sql); handled {
 		return meta, err
 	}
-	st, err := sqlmini.Parse(sql)
-	if err != nil {
-		s.poison(false)
-		return nil, err
+	st, cached := s.db.pcache.Get(sql)
+	if !cached {
+		var err error
+		st, err = sqlmini.Parse(sql)
+		if err != nil {
+			s.poison(false)
+			return nil, err
+		}
+		s.db.pcache.Put(sql, st)
 	}
 	switch st.(type) {
 	case *sqlmini.Begin:
@@ -284,7 +294,7 @@ func (s *Session) execMeta(sql string) (*Result, bool, error) {
 		}
 		return &Result{Tag: fmt.Sprintf("CHECKPOINT %d", lsn)}, true, nil
 	case head == "VACUUM" && len(fields) == 1:
-		removed := 0
+		removed := s.db.mgr.PruneStates()
 		horizon := s.db.mgr.Horizon()
 		for _, name := range s.db.Tables() {
 			if tb, ok := s.db.table(name); ok {

@@ -13,7 +13,8 @@ import (
 // SUPERSET of the visible truth — readers re-check visibility and the
 // predicate against the fetched row — so index maintenance never needs
 // transactional coordination: writers add entries eagerly, and stale
-// entries are swept by Vacuum.
+// entries are swept by Vacuum. The registry has its own small mutex (imu)
+// so index fan-out does not touch the striped row maps.
 
 // colIndex is one secondary index.
 type colIndex struct {
@@ -50,9 +51,11 @@ func (ix *colIndex) lookup(val sqlmini.Value) []sqlmini.Value {
 }
 
 // CreateIndex builds a secondary equality index over the named column. The
-// build is online: the index is registered first so concurrent writers
-// populate it, then existing chains are backfilled (duplicates are
-// harmless).
+// build is online: the index is registered and the existing chain set
+// snapshotted under the all-stripes lock (stripe order, DESIGN.md §5i) so
+// every chain either lands in the backfill snapshot or was created by a
+// writer that already sees the registered index; then existing chains are
+// backfilled (duplicates are harmless).
 func (tb *Table) CreateIndex(name, column string) error {
 	col := tb.Schema.ColumnIndex(column)
 	if col < 0 {
@@ -60,20 +63,25 @@ func (tb *Table) CreateIndex(name, column string) error {
 	}
 	ix := &colIndex{name: name, col: col, entries: make(map[sqlmini.Value]map[sqlmini.Value]struct{})}
 
-	tb.mu.Lock()
+	tb.lockAllStripes()
+	tb.imu.Lock()
 	if tb.indexes == nil {
 		tb.indexes = make(map[string]*colIndex)
 	}
 	if _, dup := tb.indexes[name]; dup {
-		tb.mu.Unlock()
+		tb.imu.Unlock()
+		tb.unlockAllStripes()
 		return fmt.Errorf("mvcc: index %q already exists on %s", name, tb.Schema.Name)
 	}
 	tb.indexes[name] = ix
-	chains := make(map[sqlmini.Value]*rowChain, len(tb.rows))
-	for pk, ch := range tb.rows {
-		chains[pk] = ch
+	tb.imu.Unlock()
+	chains := make(map[sqlmini.Value]*rowChain)
+	for si := range tb.stripes {
+		for pk, ch := range tb.stripes[si].rows {
+			chains[pk] = ch
+		}
 	}
-	tb.mu.Unlock()
+	tb.unlockAllStripes()
 
 	// Backfill every version's value (any version might be visible to
 	// some snapshot).
@@ -89,8 +97,8 @@ func (tb *Table) CreateIndex(name, column string) error {
 
 // DropIndex removes a secondary index.
 func (tb *Table) DropIndex(name string) error {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
+	tb.imu.Lock()
+	defer tb.imu.Unlock()
 	if _, ok := tb.indexes[name]; !ok {
 		return fmt.Errorf("mvcc: index %q does not exist on %s", name, tb.Schema.Name)
 	}
@@ -100,8 +108,8 @@ func (tb *Table) DropIndex(name string) error {
 
 // Indexes lists index names and their columns (dump support).
 func (tb *Table) Indexes() map[string]string {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
+	tb.imu.Lock()
+	defer tb.imu.Unlock()
 	out := make(map[string]string, len(tb.indexes))
 	for name, ix := range tb.indexes {
 		out[name] = tb.Schema.Columns[ix.col].Name
@@ -118,7 +126,7 @@ func (tb *Table) IndexLookup(column string, val sqlmini.Value) (pks []sqlmini.Va
 	if col < 0 {
 		return nil, false
 	}
-	tb.mu.Lock()
+	tb.imu.Lock()
 	var ix *colIndex
 	for _, cand := range tb.indexes {
 		if cand.col == col {
@@ -126,7 +134,7 @@ func (tb *Table) IndexLookup(column string, val sqlmini.Value) (pks []sqlmini.Va
 			break
 		}
 	}
-	tb.mu.Unlock()
+	tb.imu.Unlock()
 	if ix == nil {
 		return nil, false
 	}
@@ -135,12 +143,12 @@ func (tb *Table) IndexLookup(column string, val sqlmini.Value) (pks []sqlmini.Va
 
 // indexAdd fans a new version's value out to all matching indexes.
 func (tb *Table) indexAdd(row storage.Row, pk sqlmini.Value) {
-	tb.mu.Lock()
+	tb.imu.Lock()
 	idxs := make([]*colIndex, 0, len(tb.indexes))
 	for _, ix := range tb.indexes {
 		idxs = append(idxs, ix)
 	}
-	tb.mu.Unlock()
+	tb.imu.Unlock()
 	for _, ix := range idxs {
 		ix.add(row[ix.col], pk)
 	}
@@ -149,12 +157,12 @@ func (tb *Table) indexAdd(row storage.Row, pk sqlmini.Value) {
 // sweepIndexes drops entries whose chains no longer contain the value in
 // any version. Called by Vacuum after version pruning.
 func (tb *Table) sweepIndexes() int {
-	tb.mu.Lock()
+	tb.imu.Lock()
 	idxs := make([]*colIndex, 0, len(tb.indexes))
 	for _, ix := range tb.indexes {
 		idxs = append(idxs, ix)
 	}
-	tb.mu.Unlock()
+	tb.imu.Unlock()
 
 	removed := 0
 	for _, ix := range idxs {

@@ -9,12 +9,20 @@
 // concurrent active transaction blocks; if that transaction commits, the
 // waiter aborts with ErrSerialization (first-updater-wins), and if it
 // aborts, the waiter proceeds.
+//
+// The transaction-status table and the row store are both striped by a
+// power-of-two hash (DESIGN.md §5i): Begin, Commit, and the per-version
+// statusOf calls on the visibility path contend only on one stripe instead
+// of a manager-wide RWMutex, and CSN assignment is serialized by a tiny
+// dedicated mutex so status publication stays ordered before the watermark
+// advance.
 package mvcc
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madeus/internal/invariant"
@@ -35,6 +43,23 @@ const (
 	StatusCommitted
 	StatusAborted
 )
+
+// FrozenTxn is the sentinel creator ID a version's xmin is rewritten to
+// when its real creator's txnState is pruned: it means "committed at or
+// below every snapshot that can still exist", so statusOf reports it as
+// committed with CSN 0. Real IDs start at 1 and are assigned sequentially,
+// so the sentinel is unreachable.
+const FrozenTxn = ^TxnID(0)
+
+// DefaultStripes is the default stripe count for the transaction-status
+// table and the per-table row maps. Must be a power of two.
+const DefaultStripes = 16
+
+// pruneBatch is how many finished writer states accumulate before an
+// eager prune pass freezes their versions and drops the states. Small
+// enough to bound the states map, large enough that single-transaction
+// unit tests never observe a state disappearing under them.
+const pruneBatch = 64
 
 // Sentinel errors surfaced to the engine (which maps them onto SQLSTATE-like
 // error strings for the wire protocol).
@@ -58,10 +83,47 @@ type Manager struct {
 	// with ErrLockTimeout. Zero selects a 2s default.
 	LockTimeout time.Duration
 
-	mu      sync.RWMutex //madeusvet:lockrank mvcc-txn 44
-	nextTxn TxnID
-	lastCSN CSN
-	states  map[TxnID]*txnState
+	// LegacyReads restores the pre-sharding read path: Get and Scan hand
+	// out copies instead of borrowing the immutable stored rows, and Scan
+	// re-collects and sorts the key set per call instead of walking the
+	// sorted chain spine. Kept as a safety valve for callers that must
+	// mutate read rows in place and as the hotpath ablation's baseline
+	// leg. Set before serving traffic.
+	LegacyReads bool
+
+	nextTxn atomic.Uint64
+	lastCSN atomic.Uint64
+
+	// csnMu serializes CSN assignment and publication: a commit flips
+	// the state to committed under its stripe lock BEFORE storing the
+	// new watermark, so a snapshot taken at watermark W always observes
+	// every CSN ≤ W as committed. Atomics alone cannot give that order.
+	csnMu sync.Mutex //madeusvet:lockrank mvcc-csn 43
+
+	mask    uint64
+	stripes []txnStripe
+
+	// tableStripes is the row-map stripe count Tables bound to this
+	// manager inherit (power of two; 1 reproduces the unsharded layout
+	// for the hotpath ablation baseline).
+	tableStripes int
+
+	// pruneMu guards only the pending queue; freeze work runs with it
+	// released so commits never wait behind a prune pass.
+	pruneMu sync.Mutex //madeusvet:lockrank mvcc-prune 41
+	pending []pendingFreeze
+	// sincePrune counts enqueues since the last prune pass. The trigger
+	// works off this counter, NOT off len(pending): under heavy load the
+	// snapshot horizon lags the commit stream, so the queue sits above any
+	// fixed length permanently, and a length trigger would rescan (and
+	// reallocate) the entire backlog on every single commit.
+	sincePrune int
+}
+
+// txnStripe is one shard of the transaction-status table.
+type txnStripe struct {
+	mu     sync.RWMutex //madeusvet:lockrank mvcc-txn 44
+	states map[TxnID]*txnState
 }
 
 type txnState struct {
@@ -70,9 +132,47 @@ type txnState struct {
 	snap   CSN // snapshot at Begin; used by the vacuum horizon
 }
 
-// NewManager returns a transaction manager.
-func NewManager() *Manager {
-	return &Manager{states: make(map[TxnID]*txnState)}
+// pendingFreeze is a committed writer whose state is waiting for the
+// snapshot horizon to pass its CSN, at which point its versions are frozen
+// (xmin → FrozenTxn, superseded versions removed) and the state dropped.
+type pendingFreeze struct {
+	id     TxnID
+	csn    CSN
+	chains []*rowChain
+}
+
+// NewManager returns a transaction manager with the default stripe count.
+func NewManager() *Manager { return NewManagerStriped(DefaultStripes) }
+
+// NewManagerStriped returns a transaction manager with n stripes for the
+// status table and for row maps of tables bound to it. n is rounded up to
+// a power of two; values < 1 select 1 (the unsharded layout).
+func NewManagerStriped(n int) *Manager {
+	n = ceilPow2(n)
+	m := &Manager{
+		mask:         uint64(n - 1),
+		stripes:      make([]txnStripe, n),
+		tableStripes: n,
+	}
+	for i := range m.stripes {
+		m.stripes[i].states = make(map[TxnID]*txnState)
+	}
+	return m
+}
+
+func ceilPow2(n int) int {
+	if n < 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (m *Manager) stripe(id TxnID) *txnStripe {
+	return &m.stripes[uint64(id)&m.mask]
 }
 
 // Txn is one transaction. A Txn is used by a single session goroutine;
@@ -85,38 +185,75 @@ type Txn struct {
 	locks  []*rowChain
 	done   bool
 	writes int
+
+	// waitTimer is the reusable row-lock wait timer (one allocation per
+	// transaction instead of one per contended wait).
+	waitTimer *time.Timer
 }
 
 // Begin starts a transaction, taking its snapshot now. Call it at the
 // transaction's first operation, not at BEGIN, to match the snapshot
 // creation rule of Sec 3.1.
+//
+// The snapshot is read under the stripe lock so registration is atomic
+// with respect to Horizon's stripe scan: a transaction is either visible
+// to the scan, or its snapshot is at least the watermark the scan started
+// from — either way the horizon never passes a snapshot that still needs
+// a pruned state.
 func (m *Manager) Begin() *Txn {
-	m.mu.Lock()
-	m.nextTxn++
-	id := m.nextTxn
-	snap := m.lastCSN
-	m.states[id] = &txnState{status: StatusActive, snap: snap}
-	m.mu.Unlock()
+	id := TxnID(m.nextTxn.Add(1))
+	s := m.stripe(id)
+	s.mu.Lock()
+	snap := CSN(m.lastCSN.Load())
+	s.states[id] = &txnState{status: StatusActive, snap: snap}
+	s.mu.Unlock()
 	return &Txn{ID: id, Snapshot: snap, mgr: m}
 }
 
-// statusOf reports the state of a transaction. Unknown IDs (never started)
-// report StatusAborted so stray versions stay invisible.
+// statusOf reports the state of a transaction. Unknown IDs report
+// StatusAborted so stray versions stay invisible — which is also why a
+// committed writer's state can only be dropped after its versions are
+// frozen. FrozenTxn reports committed at CSN 0 (visible to any snapshot).
 func (m *Manager) statusOf(id TxnID) (Status, CSN) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	st, ok := m.states[id]
+	if id == FrozenTxn {
+		return StatusCommitted, 0
+	}
+	s := m.stripe(id)
+	s.mu.RLock()
+	st, ok := s.states[id]
 	if !ok {
+		s.mu.RUnlock()
 		return StatusAborted, 0
 	}
-	return st.status, st.csn
+	status, csn := st.status, st.csn
+	s.mu.RUnlock()
+	return status, csn
 }
 
 // LastCSN returns the latest assigned commit sequence number.
 func (m *Manager) LastCSN() CSN {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.lastCSN
+	return CSN(m.lastCSN.Load())
+}
+
+// StateCount reports how many txnState entries are live across all
+// stripes (regression guard: eager pruning keeps this bounded).
+func (m *Manager) StateCount() int {
+	n := 0
+	for i := range m.stripes {
+		s := &m.stripes[i]
+		s.mu.RLock()
+		n += len(s.states)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// PendingFreezes reports how many committed writers are queued behind the
+// snapshot horizon (test and observability hook).
+func (m *Manager) PendingFreezes() int {
+	m.pruneMu.Lock()
+	defer m.pruneMu.Unlock()
+	return len(m.pending)
 }
 
 // Commit makes t's effects visible: it assigns the next CSN, flips the
@@ -127,35 +264,153 @@ func (t *Txn) Commit() (CSN, error) {
 		return 0, ErrTxnDone
 	}
 	t.done = true
+	t.stopWaitTimer()
 	m := t.mgr
-	m.mu.Lock()
-	m.lastCSN++
-	csn := m.lastCSN
-	st := m.states[t.ID]
+	s := m.stripe(t.ID)
+
+	if t.writes == 0 {
+		// Read-only: no version anywhere references t.ID, so the state
+		// can be dropped immediately — unknown IDs never reach statusOf
+		// through a version, and the horizon only rises.
+		m.csnMu.Lock()
+		csn := CSN(m.lastCSN.Load()) + 1
+		s.mu.Lock()
+		st := s.states[t.ID]
+		invariant.Assert(st != nil && st.status == StatusActive, "mvcc: commit of a non-active transaction")
+		delete(s.states, t.ID)
+		s.mu.Unlock()
+		m.lastCSN.Store(uint64(csn))
+		m.csnMu.Unlock()
+		return csn, nil
+	}
+
+	m.csnMu.Lock()
+	csn := CSN(m.lastCSN.Load()) + 1
+	s.mu.Lock()
+	st := s.states[t.ID]
 	invariant.Assert(st != nil && st.status == StatusActive, "mvcc: commit of a non-active transaction")
 	invariant.Assertf(csn > t.Snapshot, "mvcc: CSN %d not beyond snapshot %d", csn, t.Snapshot)
 	st.status = StatusCommitted
 	st.csn = csn
-	m.mu.Unlock()
+	s.mu.Unlock()
+	// Publish the watermark only after the status flip above: a snapshot
+	// that includes csn must observe the state as committed.
+	m.lastCSN.Store(uint64(csn))
+	m.csnMu.Unlock()
+
+	chains := t.locks
 	t.releaseLocks()
+	m.enqueueFreeze(pendingFreeze{id: t.ID, csn: csn, chains: chains})
 	return csn, nil
 }
 
-// Abort rolls t back: its versions become permanently invisible and its
-// locks are released.
+// Abort rolls t back: its versions are physically removed (they were never
+// visible to anyone else) and its state dropped — unknown IDs already
+// report StatusAborted, so eager removal preserves visibility semantics.
 func (t *Txn) Abort() error {
 	if t.done {
 		return ErrTxnDone
 	}
 	t.done = true
+	t.stopWaitTimer()
 	m := t.mgr
-	m.mu.Lock()
-	st := m.states[t.ID]
+	s := m.stripe(t.ID)
+	s.mu.Lock()
+	st := s.states[t.ID]
 	invariant.Assert(st != nil && st.status == StatusActive, "mvcc: abort of a non-active transaction")
-	st.status = StatusAborted
-	m.mu.Unlock()
+	delete(s.states, t.ID)
+	s.mu.Unlock()
+	// Undo before waking waiters so they recheck against clean chains.
+	for _, ch := range t.locks {
+		ch.undo(t.ID)
+	}
 	t.releaseLocks()
 	return nil
+}
+
+// enqueueFreeze queues a committed writer for state pruning and runs a
+// prune pass once enough have accumulated.
+func (m *Manager) enqueueFreeze(p pendingFreeze) {
+	m.pruneMu.Lock()
+	m.pending = append(m.pending, p)
+	m.sincePrune++
+	ready := m.sincePrune >= pruneBatch
+	m.pruneMu.Unlock()
+	if ready {
+		m.PruneStates()
+	}
+}
+
+// PruneStates freezes every queued committed writer whose CSN is at or
+// below the current snapshot horizon and drops its txnState, returning
+// how many dead versions the freezes removed. Commit calls it
+// automatically every pruneBatch writers; vacuum calls it so an explicit
+// VACUUM also empties the queue (and counts the removals in its tag).
+func (m *Manager) PruneStates() int {
+	m.pruneMu.Lock()
+	work := m.pending
+	m.pending = nil
+	m.sincePrune = 0
+	m.pruneMu.Unlock()
+	if len(work) == 0 {
+		return 0
+	}
+
+	h := m.Horizon()
+	pruned := 0
+	// Filter in place: entries still above the horizon compact to the
+	// front of work, which then becomes the queue again — the backlog
+	// buffer is recycled across passes instead of reallocated.
+	kept := work[:0]
+	for _, p := range work {
+		if p.csn > h {
+			kept = append(kept, p)
+			continue
+		}
+		pruned += m.freeze(p)
+	}
+	for i := len(kept); i < len(work); i++ {
+		work[i] = pendingFreeze{} // drop chain refs from the recycled tail
+	}
+	m.pruneMu.Lock()
+	kept = append(kept, m.pending...) // arrivals during the pass keep their order
+	m.pending = kept
+	m.pruneMu.Unlock()
+	return pruned
+}
+
+// freeze rewrites every version reference to p.id — xmin becomes
+// FrozenTxn, versions superseded by p (xmax == p.id) are removed outright
+// (p committed at or below the horizon, so every current and future
+// snapshot sees the supersession) — then drops p's txnState. Returns the
+// number of dead versions removed.
+func (m *Manager) freeze(p pendingFreeze) int {
+	removed := 0
+	for _, ch := range p.chains {
+		ch.mu.Lock()
+		kept := ch.versions[:0]
+		for i := range ch.versions {
+			v := ch.versions[i]
+			if v.xmax == p.id {
+				removed++
+				continue // dead for every snapshot ≥ horizon
+			}
+			if v.xmin == p.id {
+				v.xmin = FrozenTxn
+			}
+			kept = append(kept, v)
+		}
+		for i := len(kept); i < len(ch.versions); i++ {
+			ch.versions[i] = version{}
+		}
+		ch.versions = kept
+		ch.mu.Unlock()
+	}
+	s := m.stripe(p.id)
+	s.mu.Lock()
+	delete(s.states, p.id)
+	s.mu.Unlock()
+	return removed
 }
 
 // Done reports whether the transaction has committed or aborted.
@@ -176,6 +431,31 @@ func (t *Txn) lockTimeout() time.Duration {
 		return t.mgr.LockTimeout
 	}
 	return 2 * time.Second
+}
+
+// waitTimerFor arms the reusable per-transaction timer for one row-lock
+// wait and returns its channel. The timer is stopped-and-drained between
+// uses, so the channel never holds a stale tick.
+func (t *Txn) waitTimerFor(d time.Duration) <-chan time.Time {
+	if t.waitTimer == nil {
+		t.waitTimer = time.NewTimer(d)
+		return t.waitTimer.C
+	}
+	if !t.waitTimer.Stop() {
+		select {
+		case <-t.waitTimer.C:
+		default:
+		}
+	}
+	t.waitTimer.Reset(d)
+	return t.waitTimer.C
+}
+
+// stopWaitTimer parks the reusable timer at transaction end.
+func (t *Txn) stopWaitTimer() {
+	if t.waitTimer != nil {
+		t.waitTimer.Stop()
+	}
 }
 
 // visible implements the SI visibility rule for one version.

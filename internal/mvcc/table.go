@@ -2,6 +2,7 @@ package mvcc
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -19,8 +20,8 @@ type version struct {
 }
 
 // rowChain holds all versions of one logical row (one primary key) plus the
-// row write lock used for first-updater-wins. Lock ordering: Table.mu (map
-// access) is never held while a rowChain.mu is held, and at most one
+// row write lock used for first-updater-wins. Lock ordering: a row-map
+// stripe mutex is never held while a rowChain.mu is held, and at most one
 // rowChain.mu is held at a time; row-lock *waits* happen on waiter channels
 // with ch.mu released, so mutexes are never held across blocking waits.
 type rowChain struct {
@@ -30,50 +31,191 @@ type rowChain struct {
 	waiters   []chan struct{}
 }
 
-// Table is an MVCC table: a schema plus row chains keyed by primary key.
+// tableStripe is one shard of the row map. Single-stripe operations hash
+// the primary key to a stripe; cross-stripe operations (full scans, index
+// DDL) take stripes in index order via lockAllStripes.
+type tableStripe struct {
+	mu   sync.Mutex //madeusvet:lockrank mvcc-table 40 striped
+	rows map[sqlmini.Value]*rowChain
+}
+
+// Table is an MVCC table: a schema plus row chains keyed by primary key,
+// striped by key hash (DESIGN.md §5i).
 type Table struct {
 	Schema *storage.Schema
 
-	mgr  *Manager
-	//madeusvet:lockrank mvcc-table 40
-	mu   sync.Mutex // guards rows map and indexes registry
-	rows map[sqlmini.Value]*rowChain
+	mgr     *Manager
+	mask    uint64
+	stripes []tableStripe
 
+	// spine is the chain directory sorted by primary key, maintained
+	// incrementally as chains are created (chains are never removed, see
+	// Vacuum). A scan copies it with one memmove instead of collecting
+	// and sorting the whole key set per call. spineMu is never held
+	// together with any other lock: chain creation inserts after the
+	// stripe section, scans copy before taking any chain lock.
+	spineMu sync.Mutex //madeusvet:lockrank mvcc-spine 39
+	spine   []pkChain
+
+	imu     sync.Mutex //madeusvet:lockrank mvcc-tableidx 45
 	indexes map[string]*colIndex
 }
 
-// NewTable creates an empty MVCC table bound to a transaction manager.
+// NewTable creates an empty MVCC table bound to a transaction manager,
+// inheriting the manager's stripe count.
 func NewTable(schema *storage.Schema, mgr *Manager) *Table {
-	return &Table{
-		Schema: schema,
-		mgr:    mgr,
-		rows:   make(map[sqlmini.Value]*rowChain),
+	n := mgr.tableStripes
+	if n < 1 {
+		n = 1
+	}
+	tb := &Table{
+		Schema:  schema,
+		mgr:     mgr,
+		mask:    uint64(n - 1),
+		stripes: make([]tableStripe, n),
+	}
+	for i := range tb.stripes {
+		tb.stripes[i].rows = make(map[sqlmini.Value]*rowChain)
+	}
+	return tb
+}
+
+// FNV-1a, inlined so key hashing allocates nothing.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func fnvU64(h uint64, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(x>>(8*i)))
+	}
+	return h
+}
+
+// hashValue hashes a primary key to pick a stripe. Keys of one table share
+// a kind (CheckRow enforces it), so mixing the kind only guards against
+// degenerate cross-kind collisions.
+func hashValue(v sqlmini.Value) uint64 {
+	h := fnvByte(fnvOffset, byte(v.Kind))
+	switch v.Kind {
+	case sqlmini.KindInt:
+		h = fnvU64(h, uint64(v.Int))
+	case sqlmini.KindFloat:
+		h = fnvU64(h, math.Float64bits(v.Float))
+	case sqlmini.KindText:
+		for i := 0; i < len(v.Str); i++ {
+			h = fnvByte(h, v.Str[i])
+		}
+	case sqlmini.KindBool:
+		if v.Bool {
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	return h
+}
+
+func (tb *Table) stripeFor(pk sqlmini.Value) *tableStripe {
+	return &tb.stripes[hashValue(pk)&tb.mask]
+}
+
+// Stripes reports the row-map stripe count (observability and tests).
+func (tb *Table) Stripes() int { return len(tb.stripes) }
+
+// lockAllStripes acquires every row-map stripe in index order. This is the
+// stripe-order invariant (DESIGN.md §5i): every cross-stripe section walks
+// stripes 0..n-1, so two cross-stripe operations can never deadlock
+// against each other, and a single-stripe operation (which holds at most
+// one stripe) can never participate in a cycle.
+//
+//madeusvet:stripeorder
+func (tb *Table) lockAllStripes() {
+	for i := range tb.stripes {
+		//madeusvet:ignore lockdiscipline cross-stripe section: every stripe is held on return; unlockAllStripes is the paired release
+		tb.stripes[i].mu.Lock()
+	}
+}
+
+// unlockAllStripes releases every stripe in reverse order.
+func (tb *Table) unlockAllStripes() {
+	for i := len(tb.stripes) - 1; i >= 0; i-- {
+		tb.stripes[i].mu.Unlock()
 	}
 }
 
 func (tb *Table) chain(pk sqlmini.Value, create bool) *rowChain {
-	tb.mu.Lock()
-	defer tb.mu.Unlock()
-	ch := tb.rows[pk]
+	s := tb.stripeFor(pk)
+	s.mu.Lock()
+	ch := s.rows[pk]
+	created := false
 	if ch == nil && create {
 		ch = &rowChain{}
-		tb.rows[pk] = ch
+		s.rows[pk] = ch
+		created = true
+	}
+	s.mu.Unlock()
+	if created {
+		// Outside the stripe section so spineMu never nests under a
+		// stripe mutex. A scan that copies the spine in this window
+		// misses a chain that is still empty (the creator appends its
+		// first version only after chain returns), so no visible row
+		// is ever skipped.
+		tb.spineInsert(pk, ch)
 	}
 	return ch
 }
 
+// spineInsert adds a newly created chain to the sorted chain directory.
+// The map insert under the stripe lock already deduplicated creators, so
+// each chain is inserted exactly once.
+func (tb *Table) spineInsert(pk sqlmini.Value, ch *rowChain) {
+	tb.spineMu.Lock()
+	i := sort.Search(len(tb.spine), func(i int) bool { return comparePK(tb.spine[i].pk, pk) > 0 })
+	tb.spine = append(tb.spine, pkChain{})
+	copy(tb.spine[i+1:], tb.spine[i:])
+	tb.spine[i] = pkChain{pk: pk, ch: ch}
+	tb.spineMu.Unlock()
+}
+
+// comparePK orders primary keys with an integer fast path. Keys of one
+// table share a kind (CheckRow enforces it), so the error from the
+// general comparison cannot fire.
+func comparePK(a, b sqlmini.Value) int {
+	if a.Kind == sqlmini.KindInt && b.Kind == sqlmini.KindInt {
+		switch {
+		case a.Int < b.Int:
+			return -1
+		case a.Int > b.Int:
+			return 1
+		}
+		return 0
+	}
+	c, _ := a.Compare(b)
+	return c
+}
+
 // Get returns the version of the row with primary key pk visible to t, or
-// nil when none is visible.
+// nil when none is visible. The row is borrowed from version storage and
+// must not be mutated (see visibleRow); set Manager.LegacyReads to get the
+// old copy-on-read behavior back.
 func (tb *Table) Get(t *Txn, pk sqlmini.Value) storage.Row {
 	ch := tb.chain(pk, false)
 	if ch == nil {
 		return nil
 	}
 	ch.mu.Lock()
-	defer ch.mu.Unlock()
 	// SI sanity: a snapshot sees at most one version per logical row.
 	invariant.Check(func() error { return ch.checkAtMostOneVisible(t) })
-	return ch.visibleRow(t)
+	row := ch.visibleRow(t)
+	ch.mu.Unlock()
+	if row != nil && tb.mgr.LegacyReads {
+		row = row.Clone()
+	}
+	return row
 }
 
 // checkAtMostOneVisible verifies the snapshot-isolation guarantee that a
@@ -92,47 +234,124 @@ func (ch *rowChain) checkAtMostOneVisible(t *Txn) error {
 	return nil
 }
 
-// visibleRow returns (a clone of) the visible version in ch, newest first.
-// Caller holds ch.mu.
+// visibleRow returns the visible version in ch, newest first. Caller
+// holds ch.mu. The returned row is the stored version itself, NOT a copy:
+// stored rows are immutable (Insert and Update clone on the way in, and
+// nothing rewrites a version's row in place), so borrowing is safe for
+// every reader that does not mutate. Readers that need an owned copy
+// clone explicitly; Manager.LegacyReads restores unconditional copying.
 func (ch *rowChain) visibleRow(t *Txn) storage.Row {
 	for i := len(ch.versions) - 1; i >= 0; i-- {
 		if t.visible(&ch.versions[i]) {
-			return ch.versions[i].row.Clone()
+			return ch.versions[i].row
 		}
 	}
 	return nil
 }
 
+// pkChain pairs a primary key with its chain so a scan resolves each row
+// without a second map lookup.
+type pkChain struct {
+	pk sqlmini.Value
+	ch *rowChain
+}
+
+// scanBufPool recycles scan snapshot buffers: a full scan of an N-row
+// table would otherwise allocate an N-entry slice per statement, which
+// under the heavy TPC-W mix is the dominant GC pressure.
+var scanBufPool = sync.Pool{New: func() any { return new([]pkChain) }}
+
+// snapshotChains collects every (pk, chain) pair into buf under the
+// all-stripes lock, so the key set is one atomic cut (the same guarantee
+// the old single-mutex rows map gave dumps).
+func (tb *Table) snapshotChains(buf []pkChain) []pkChain {
+	tb.lockAllStripes()
+	for i := range tb.stripes {
+		for pk, ch := range tb.stripes[i].rows {
+			buf = append(buf, pkChain{pk: pk, ch: ch})
+		}
+	}
+	tb.unlockAllStripes()
+	return buf
+}
+
+// sortPKChains orders a scan snapshot by primary key. Integer keys (every
+// TPC-W table) take a direct comparator; the general path falls back to
+// Value.Compare. Both avoid reflection-based sort.Slice.
+func sortPKChains(pairs []pkChain) {
+	allInt := true
+	for i := range pairs {
+		if pairs[i].pk.Kind != sqlmini.KindInt {
+			allInt = false
+			break
+		}
+	}
+	if allInt {
+		sort.Sort(byIntPK(pairs))
+		return
+	}
+	sort.Sort(byValuePK(pairs))
+}
+
+type byIntPK []pkChain
+
+func (s byIntPK) Len() int           { return len(s) }
+func (s byIntPK) Less(i, j int) bool { return s[i].pk.Int < s[j].pk.Int }
+func (s byIntPK) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+
+type byValuePK []pkChain
+
+func (s byValuePK) Len() int { return len(s) }
+func (s byValuePK) Less(i, j int) bool {
+	c, err := s[i].pk.Compare(s[j].pk)
+	// Mixed-kind keys cannot occur: CheckRow enforces kinds.
+	return err == nil && c < 0
+}
+func (s byValuePK) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+
 // Scan calls fn for every row visible to t, in primary-key order. fn
 // returning false stops the scan. Ordering is deterministic so that dumps
-// and state comparisons are stable.
+// and state comparisons are stable. Rows are borrowed from version
+// storage (see visibleRow): stored rows are immutable so fn may retain
+// them, but must never mutate one — clone first (or set
+// Manager.LegacyReads) to get an owned copy.
+//
+// The fast path copies the presorted spine (one memmove); LegacyReads
+// selects the pre-sharding path that collects and sorts the key set
+// under the all-stripes lock on every call.
 func (tb *Table) Scan(t *Txn, fn func(storage.Row) bool) error {
-	tb.mu.Lock()
-	pks := make([]sqlmini.Value, 0, len(tb.rows))
-	for pk := range tb.rows {
-		pks = append(pks, pk)
+	bufp := scanBufPool.Get().(*[]pkChain)
+	legacy := tb.mgr.LegacyReads
+	var pairs []pkChain
+	if legacy {
+		pairs = tb.snapshotChains((*bufp)[:0])
+		sortPKChains(pairs)
+	} else {
+		tb.spineMu.Lock()
+		pairs = append((*bufp)[:0], tb.spine...)
+		tb.spineMu.Unlock()
 	}
-	tb.mu.Unlock()
-	sort.Slice(pks, func(i, j int) bool {
-		c, err := pks[i].Compare(pks[j])
-		if err != nil {
-			// Mixed-kind keys cannot occur: CheckRow enforces kinds.
-			return false
-		}
-		return c < 0
-	})
-	for _, pk := range pks {
-		ch := tb.chain(pk, false)
-		if ch == nil {
-			continue
-		}
+	clone := legacy
+	for i := range pairs {
+		ch := pairs[i].ch
 		ch.mu.Lock()
 		row := ch.visibleRow(t)
 		ch.mu.Unlock()
-		if row != nil && !fn(row) {
-			return nil
+		if row == nil {
+			continue
+		}
+		if clone {
+			row = row.Clone()
+		}
+		if !fn(row) {
+			break
 		}
 	}
+	for i := range pairs {
+		pairs[i] = pkChain{} // drop chain references before pooling
+	}
+	*bufp = pairs
+	scanBufPool.Put(bufp)
 	return nil
 }
 
@@ -309,6 +528,10 @@ func (ch *rowChain) acquire(t *Txn) {
 // waitUnlocked releases ch.mu, waits until the lock holder resolves or the
 // deadline passes, and reacquires ch.mu. Caller holds ch.mu on entry; on a
 // nil return the caller holds it again and must recheck all conditions.
+//
+// The wake channel is registered before ch.mu is released and the holder
+// closes it under ch.mu, so a release between our unlock and our select
+// cannot be missed — the close is already observable on the channel.
 func (ch *rowChain) waitUnlocked(t *Txn, deadline time.Time) error {
 	wake := make(chan struct{})
 	ch.waiters = append(ch.waiters, wake)
@@ -321,13 +544,11 @@ func (ch *rowChain) waitUnlocked(t *Txn, deadline time.Time) error {
 		ch.mu.Unlock()
 		return ErrLockTimeout
 	}
-	timer := time.NewTimer(wait)
-	defer timer.Stop()
 	select {
 	case <-wake:
 		ch.mu.Lock()
 		return nil
-	case <-timer.C:
+	case <-t.waitTimerFor(wait):
 		ch.mu.Lock()
 		ch.dropWaiter(wake)
 		ch.mu.Unlock()
@@ -355,5 +576,29 @@ func (ch *rowChain) unlock(id TxnID) {
 		}
 		ch.waiters = nil
 	}
+	ch.mu.Unlock()
+}
+
+// undo physically removes an aborted transaction's trace from one chain:
+// versions it created disappear, supersession marks it left are cleared.
+// Safe because id's versions were never visible to any other transaction
+// and statusOf already reports the (dropped) transaction as aborted.
+func (ch *rowChain) undo(id TxnID) {
+	ch.mu.Lock()
+	kept := ch.versions[:0]
+	for i := range ch.versions {
+		v := ch.versions[i]
+		if v.xmin == id {
+			continue
+		}
+		if v.xmax == id {
+			v.xmax = 0
+		}
+		kept = append(kept, v)
+	}
+	for i := len(kept); i < len(ch.versions); i++ {
+		ch.versions[i] = version{}
+	}
+	ch.versions = kept
 	ch.mu.Unlock()
 }

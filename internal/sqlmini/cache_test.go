@@ -1,0 +1,120 @@
+package sqlmini
+
+import "testing"
+
+func TestCacheHitMissCounters(t *testing.T) {
+	c := NewCache(8)
+	sql := "SELECT id FROM t WHERE id = 1"
+	if _, ok := c.Get(sql); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(sql, mustParse(t, sql))
+	if _, ok := c.Get(sql); !ok {
+		t.Fatal("miss after Put")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Len != 1 {
+		t.Fatalf("Stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a := "SELECT id FROM t WHERE id = 1"
+	b := "SELECT id FROM t WHERE id = 2"
+	d := "SELECT id FROM t WHERE id = 3"
+	c.Put(a, mustParse(t, a))
+	c.Put(b, mustParse(t, b))
+	// Touch a so b becomes the LRU entry.
+	if _, ok := c.Get(a); !ok {
+		t.Fatal("a should be cached")
+	}
+	c.Put(d, mustParse(t, d))
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	if _, ok := c.Get(b); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get(a); !ok {
+		t.Error("a should have survived (recently used)")
+	}
+	if _, ok := c.Get(d); !ok {
+		t.Error("d should be cached (just inserted)")
+	}
+}
+
+func TestCacheDDLNotCached(t *testing.T) {
+	c := NewCache(8)
+	for _, sql := range []string{
+		"CREATE TABLE t (id INT PRIMARY KEY)",
+		"DROP TABLE t",
+		"CREATE INDEX idx ON t (id)",
+		"DROP INDEX idx ON t",
+	} {
+		c.Put(sql, mustParse(t, sql))
+		if _, ok := c.Get(sql); ok {
+			t.Errorf("DDL %q was cached", sql)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestCacheInvalidateTable(t *testing.T) {
+	c := NewCache(16)
+	stmts := map[string]string{
+		"SELECT id FROM t WHERE id = 1":   "t",
+		"UPDATE t SET v = 2 WHERE id = 1": "t",
+		"SELECT id FROM u WHERE id = 1":   "u",
+		"BEGIN":                           "",
+	}
+	for sql := range stmts {
+		c.Put(sql, mustParse(t, sql))
+	}
+	if n := c.InvalidateTable("t"); n != 2 {
+		t.Fatalf("InvalidateTable(t) = %d, want 2", n)
+	}
+	for sql, table := range stmts {
+		_, ok := c.Get(sql)
+		if table == "t" && ok {
+			t.Errorf("%q survived invalidation of t", sql)
+		}
+		if table != "t" && !ok {
+			t.Errorf("%q was wrongly flushed", sql)
+		}
+	}
+}
+
+func TestCacheNilIsDisabled(t *testing.T) {
+	var c *Cache
+	if c != NewCache(0) || c != NewCache(-1) {
+		t.Fatal("NewCache(<=0) should return nil")
+	}
+	c.Put("BEGIN", mustParse(t, "BEGIN"))
+	if _, ok := c.Get("BEGIN"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if c.InvalidateTable("t") != 0 || c.Len() != 0 {
+		t.Error("nil cache should report zero everywhere")
+	}
+	c.Reset()
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Errorf("nil Stats = %+v", st)
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(4)
+	sql := "SELECT id FROM t WHERE id = 1"
+	c.Put(sql, mustParse(t, sql))
+	c.Get(sql)
+	c.Reset()
+	if c.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", c.Len())
+	}
+	if st := c.Stats(); st.Hits != 1 {
+		t.Errorf("counters should survive Reset, got %+v", st)
+	}
+}

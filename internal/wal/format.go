@@ -70,16 +70,24 @@ func ReadFrame(br *bufio.Reader) ([]byte, error) {
 	return payload, nil
 }
 
-// encodeRecord appends rec as one frame to dst.
+// encodeRecord appends rec as one frame to dst. The payload is encoded
+// directly into dst after a placeholder header — no intermediate payload
+// slice — so batched appends into a reusable buffer allocate nothing
+// beyond the buffer's own amortized growth.
 func encodeRecord(dst []byte, rec Record) []byte {
-	payload := make([]byte, 0, 17+12+len(rec.DB)+len(rec.Table)+len(rec.Data))
-	payload = binary.LittleEndian.AppendUint64(payload, rec.LSN)
-	payload = binary.LittleEndian.AppendUint64(payload, rec.TxnID)
-	payload = append(payload, byte(rec.Kind))
-	payload = appendString(payload, rec.DB)
-	payload = appendString(payload, rec.Table)
-	payload = appendString(payload, rec.Data)
-	return AppendFrame(dst, payload)
+	start := len(dst)
+	var hdr [frameHeaderSize]byte
+	dst = append(dst, hdr[:]...) // patched below once the payload is known
+	dst = binary.LittleEndian.AppendUint64(dst, rec.LSN)
+	dst = binary.LittleEndian.AppendUint64(dst, rec.TxnID)
+	dst = append(dst, byte(rec.Kind))
+	dst = appendString(dst, rec.DB)
+	dst = appendString(dst, rec.Table)
+	dst = appendString(dst, rec.Data)
+	payload := dst[start+frameHeaderSize:]
+	binary.LittleEndian.PutUint32(dst[start:start+4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(dst[start+4:start+8], crc32.ChecksumIEEE(payload))
+	return dst
 }
 
 // decodeRecord parses one record payload produced by encodeRecord.

@@ -169,14 +169,16 @@ func (c *Client) jitterRNG() *rand.Rand {
 // the Client, not the connection.
 func (c *Client) SetTraceContext(tc *TraceContext) { c.trace = tc }
 
-// queryFrame picks the plain or traced frame for one outgoing statement.
-// The obs.On() guard keeps the disabled-observability cost at one atomic
-// load — no context encoding, no allocation (pinned by the overhead test).
-func (c *Client) queryFrame(plain, traced byte, sql string) (byte, []byte) {
+// queryFrame picks the plain or traced frame for one outgoing statement,
+// encoding the payload into dst (a pooled frame buffer: the connection is
+// single-goroutine and writeMsg is synchronous, so the caller releases it
+// right after the write). The obs.On() guard keeps the
+// disabled-observability cost at one atomic load — no context encoding.
+func (c *Client) queryFrame(dst []byte, plain, traced byte, sql string) (byte, []byte) {
 	if c.trace != nil && obs.On() {
-		return traced, encodeTraced(c.trace, sql)
+		return traced, appendTraced(dst, c.trace, sql)
 	}
-	return plain, []byte(sql)
+	return plain, append(dst, sql...)
 }
 
 // Broken reports whether the connection has been poisoned by a transport
@@ -262,9 +264,13 @@ func (c *Client) Exec(sql string) (*engine.Result, error) {
 	if err := fault.Inject(faultWrite); err != nil {
 		return nil, c.faulted("write", err)
 	}
-	typ, body := c.queryFrame(MsgQuery, MsgQueryTraced, sql)
-	if err := writeMsg(c.bw, typ, body); err != nil {
-		return nil, c.lost("write", err)
+	f := getFrameBuf()
+	typ, body := c.queryFrame(f.buf, MsgQuery, MsgQueryTraced, sql)
+	werr := writeMsg(c.bw, typ, body)
+	f.buf = body
+	putFrameBuf(f)
+	if werr != nil {
+		return nil, c.lost("write", werr)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, c.lost("write", err)
@@ -322,9 +328,13 @@ func (c *Client) ExecStream(sql string, sink func(seq uint32, stmts []string) er
 	if err := fault.Inject(faultWrite); err != nil {
 		return nil, c.faulted("write", err)
 	}
-	typ, body := c.queryFrame(MsgQueryStream, MsgQueryStreamTraced, sql)
-	if err := writeMsg(c.bw, typ, body); err != nil {
-		return nil, c.lost("write", err)
+	f := getFrameBuf()
+	typ, body := c.queryFrame(f.buf, MsgQueryStream, MsgQueryStreamTraced, sql)
+	werr := writeMsg(c.bw, typ, body)
+	f.buf = body
+	putFrameBuf(f)
+	if werr != nil {
+		return nil, c.lost("write", werr)
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, c.lost("write", err)

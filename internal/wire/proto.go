@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"madeus/internal/engine"
 	"madeus/internal/sqlmini"
@@ -62,6 +63,24 @@ const maxPayload = 64 << 20
 // msgHeaderLen is the frame header size (type byte + length), counted into
 // the wire.bytes.* observability counters.
 const msgHeaderLen = 5
+
+// frameBufPool recycles payload encode buffers on the hot send paths:
+// client query frames and server result/stream frames. Reuse is safe
+// because each connection is driven by one goroutine at a time and
+// writeMsg hands the bytes to the writer synchronously, so a buffer may
+// return to the pool as soon as writeMsg does.
+var frameBufPool = sync.Pool{
+	New: func() any { return &frameBuf{buf: make([]byte, 0, 1024)} },
+}
+
+type frameBuf struct{ buf []byte }
+
+func getFrameBuf() *frameBuf { return frameBufPool.Get().(*frameBuf) }
+
+func putFrameBuf(f *frameBuf) {
+	f.buf = f.buf[:0]
+	frameBufPool.Put(f)
+}
 
 // ServerError is an error reported by the remote server (as opposed to a
 // transport failure). The middleware relays these to customers verbatim.
@@ -212,7 +231,13 @@ func (d *decoder) value() (sqlmini.Value, error) {
 // EncodeStreamChunk serializes one stream chunk: its sequence number
 // (contiguous from 0, assigned by the server) and its statements.
 func EncodeStreamChunk(seq uint32, stmts []string) []byte {
-	var e encoder
+	return appendStreamChunk(nil, seq, stmts)
+}
+
+// appendStreamChunk is the allocation-free core of EncodeStreamChunk: it
+// encodes into dst (typically a pooled frame buffer) and returns it.
+func appendStreamChunk(dst []byte, seq uint32, stmts []string) []byte {
+	e := encoder{buf: dst}
 	e.u32(seq)
 	e.u32(uint32(len(stmts)))
 	for _, s := range stmts {
@@ -246,10 +271,14 @@ func DecodeStreamChunk(buf []byte) (uint32, []string, error) {
 // EncodeStreamEnd serializes the stream trailer: how many chunks preceded
 // it (the client cross-checks for silent truncation) and the final result.
 func EncodeStreamEnd(chunks uint32, res *engine.Result) []byte {
-	var e encoder
+	return appendStreamEnd(nil, chunks, res)
+}
+
+// appendStreamEnd encodes the stream trailer into dst and returns it.
+func appendStreamEnd(dst []byte, chunks uint32, res *engine.Result) []byte {
+	e := encoder{buf: dst}
 	e.u32(chunks)
-	e.buf = append(e.buf, EncodeResult(res)...)
-	return e.buf
+	return appendResult(e.buf, res)
 }
 
 // DecodeStreamEnd parses an encoded stream trailer.
@@ -265,7 +294,12 @@ func DecodeStreamEnd(buf []byte) (uint32, *engine.Result, error) {
 
 // EncodeResult serializes an engine result.
 func EncodeResult(res *engine.Result) []byte {
-	var e encoder
+	return appendResult(nil, res)
+}
+
+// appendResult encodes an engine result into dst and returns it.
+func appendResult(dst []byte, res *engine.Result) []byte {
+	e := encoder{buf: dst}
 	e.str(res.Tag)
 	e.u32(uint32(res.Affected))
 	e.u32(uint32(len(res.Columns)))

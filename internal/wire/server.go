@@ -237,17 +237,21 @@ func (s *Server) serve(conn net.Conn) {
 			dur := time.Since(start)
 			obsOpLatency.ObserveDuration(dur)
 			s.traceOp(tc, obsEvWireExec, dur, err)
-			var out []byte
 			if err != nil {
-				out = []byte(err.Error())
-				err = writeMsg(bw, MsgError, out)
+				out := []byte(err.Error())
+				obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
+				if writeMsg(bw, MsgError, out) != nil {
+					return
+				}
 			} else {
-				out = EncodeResult(res)
-				err = writeMsg(bw, MsgResult, out)
-			}
-			obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
-			if err != nil {
-				return
+				f := getFrameBuf()
+				f.buf = appendResult(f.buf, res)
+				obsBytesOut.Add(uint64(len(f.buf) + msgHeaderLen))
+				werr := writeMsg(bw, MsgResult, f.buf)
+				putFrameBuf(f)
+				if werr != nil {
+					return
+				}
 			}
 			if err := bw.Flush(); err != nil {
 				return
@@ -288,11 +292,14 @@ func (s *Server) serve(conn net.Conn) {
 				// failure surfaces through ExecStream's emit error and
 				// ends the session below.
 				res, handled, err = sc.ExecStream(sql, func(stmts []string) error {
-					body := EncodeStreamChunk(chunks, stmts)
+					f := getFrameBuf()
+					f.buf = appendStreamChunk(f.buf, chunks, stmts)
 					chunks++
 					obsStreamChunk.Inc()
-					obsBytesOut.Add(uint64(len(body) + msgHeaderLen))
-					if werr := writeMsg(bw, MsgStreamChunk, body); werr != nil {
+					obsBytesOut.Add(uint64(len(f.buf) + msgHeaderLen))
+					werr := writeMsg(bw, MsgStreamChunk, f.buf)
+					putFrameBuf(f)
+					if werr != nil {
 						return werr
 					}
 					return bw.Flush()
@@ -304,20 +311,24 @@ func (s *Server) serve(conn net.Conn) {
 			dur := time.Since(start)
 			obsOpLatency.ObserveDuration(dur)
 			s.traceOp(tc, obsEvWireStream, dur, err)
-			var out []byte
 			if err != nil {
 				// MsgError is a valid stream terminator at any point; if
 				// the failure was the transport itself this write fails
 				// too and the session ends.
-				out = []byte(err.Error())
-				err = writeMsg(bw, MsgError, out)
+				out := []byte(err.Error())
+				obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
+				if writeMsg(bw, MsgError, out) != nil {
+					return
+				}
 			} else {
-				out = EncodeStreamEnd(chunks, res)
-				err = writeMsg(bw, MsgStreamEnd, out)
-			}
-			obsBytesOut.Add(uint64(len(out) + msgHeaderLen))
-			if err != nil {
-				return
+				f := getFrameBuf()
+				f.buf = appendStreamEnd(f.buf, chunks, res)
+				obsBytesOut.Add(uint64(len(f.buf) + msgHeaderLen))
+				werr := writeMsg(bw, MsgStreamEnd, f.buf)
+				putFrameBuf(f)
+				if werr != nil {
+					return
+				}
 			}
 			if err := bw.Flush(); err != nil {
 				return

@@ -19,15 +19,15 @@ type TraceContext struct {
 	Span   uint64 // middleware-assigned id for this migration attempt
 }
 
-// encodeTraced builds a traced-query payload: the fixed-width context
-// first so a decoder can reject short frames before touching the SQL.
-func encodeTraced(tc *TraceContext, sql string) []byte {
-	var e encoder
+// appendTraced builds a traced-query payload into dst: the fixed-width
+// context first so a decoder can reject short frames before touching the
+// SQL.
+func appendTraced(dst []byte, tc *TraceContext, sql string) []byte {
+	e := encoder{buf: dst}
 	e.u64(tc.MTS)
 	e.u64(tc.Span)
 	e.str(tc.Tenant)
-	e.buf = append(e.buf, sql...)
-	return e.buf
+	return append(e.buf, sql...)
 }
 
 // decodeTraced splits a traced-query payload into its context and SQL.

@@ -11,7 +11,7 @@ import (
 func TestTracedPayloadRoundTrip(t *testing.T) {
 	tc := &TraceContext{Tenant: "shop", MTS: 42, Span: 7}
 	sql := "INSERT INTO t (id) VALUES (1)"
-	got, gotSQL, err := decodeTraced(encodeTraced(tc, sql))
+	got, gotSQL, err := decodeTraced(appendTraced(nil, tc, sql))
 	if err != nil {
 		t.Fatal(err)
 	}

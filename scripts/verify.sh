@@ -73,7 +73,7 @@ rm -f /tmp/bench_recovery_smoke.json
 # keeps the pairs' exported surfaces identical, the matrix keeps them
 # compiling), and a benchrunner -json smoke so the BENCH_*.json baseline
 # path stays alive.
-go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,obsname,fsyncack,staleignore ./...
+go run ./cmd/madeusvet -rules lockdiscipline,lockcopy,goroleak,errdrop,invariantcall,timerchurn,lockorder,holdblock,tagparity,obsname,fsyncack,staleignore,stripeorder ./...
 go test -count=1 ./internal/analysis/
 go build -tags invariants ./...
 go build -tags "invariants faultinject" ./...
@@ -86,6 +86,22 @@ rm -f /tmp/bench_smoke.json
 # under faultinject), the Prometheus exposition writer, the obsname naming
 # rule over the whole tree, and the disabled-cost guard for the new
 # trace-context and sampler branches.
+# Hot-path sharding gate (DESIGN.md §5i): the striped-MVCC suite (eager
+# pruning, contended waiters, cross-shard snapshot isolation, the chain
+# spine, the amortized prune trigger) under -race and under -tags
+# invariants, the parse-cache correctness suite (shared-AST mutation under
+# -race, DDL invalidation, LRU bounds), the WAL batch-append equivalence
+# tests, the stripeorder rule over the tree, and a benchrunner hotpath
+# smoke so the ablation path stays alive.
+go test -race -count=1 -run 'TestStateCount|TestContended|TestCrossShard|TestStripe|TestScanSpine|TestPruneTrigger' ./internal/mvcc/
+go test -tags invariants -count=1 -run 'TestScanSpine|TestPruneTrigger|TestStripe' ./internal/mvcc/
+go test -race -count=1 -run 'TestParseCache|TestVacuumMeta' ./internal/engine/
+go test -count=1 ./internal/sqlmini/
+go test -race -count=1 -run 'TestAppendBatch' ./internal/wal/
+go run ./cmd/madeusvet -rules stripeorder ./...
+go run ./cmd/benchrunner -exp hotpath -quick -json /tmp/bench_hotpath_smoke.json >/dev/null
+rm -f /tmp/bench_hotpath_smoke.json
+
 go test -race -count=1 -run 'TestTraced|TestClientScrape|TestScrapeMaxEvents|TestMalformedTracedFrame' ./internal/wire/
 go test -race -count=1 -run 'TestClusterTrace|TestTimeline|TestHistorySampler|TestTenantGauges' ./internal/core/
 go test -race -count=1 -run 'TestHistory|TestFlight|TestWritePrometheus|TestProm|TestScopeSnapshot|TestMergeTimeline' ./internal/obs/
